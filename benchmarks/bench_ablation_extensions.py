@@ -1,0 +1,58 @@
+"""Extension ablations: the trade-offs the paper argued but did not measure.
+
+* §III.D — "Why not Web Services": SOAP serialization vs native JMS.
+* §III.F — "We did not use HTTPS because of the encryption overhead".
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_web_services(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "ablation_web_services", scale, save_result)
+    rows = {row[0]: row for row in result.table[1]}
+    soap_e2e = rows["SOAP over HTTP via proxy"][2]
+    native_e2e = rows["native JMS"][2]
+    assert soap_e2e > 2 * native_e2e, "SOAP delivery costs several times native"
+    assert any("expands" in note for note in result.notes)
+
+
+def test_ablation_rgma_legacy_api(benchmark, scale, save_result):
+    """§III.F.3: the old Stream Producer/Archiver API outperforms the new
+    PP/Consumer pipeline by an order of magnitude — the [11] discrepancy."""
+    result = run_experiment(
+        benchmark, "ablation_rgma_legacy_api", scale, save_result
+    )
+    rows = result.table[1]
+    old_ms = rows[0][1]
+    new_ms = rows[1][1]
+    assert old_ms < new_ms / 5
+    assert rows[0][2] > 0  # the legacy path actually delivered tuples
+
+
+def test_ablation_clock_skew(benchmark, scale, save_result):
+    """Unsynchronised clocks destroy cross-node millisecond RTTs — the
+    methodological reason for the paper's same-node measurement design."""
+    result = run_experiment(benchmark, "ablation_clock_skew", scale, save_result)
+    rows = result.table[1]
+    same_node_err = rows[0][2]
+    ntp_err = rows[1][2]
+    drifted_err = rows[2][2]
+    assert same_node_err == 0.0
+    assert ntp_err < 2.0, "NTP residual stays in the low-millisecond range"
+    assert drifted_err > 10 * ntp_err, "drift swamps the measurement"
+    drifted_negative = float(rows[2][3].rstrip("%"))
+    assert drifted_negative > 10, "many apparent RTTs go negative"
+
+
+def test_ablation_rgma_https(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "ablation_rgma_https", scale, save_result)
+    rows = {row[0]: row for row in result.table[1]}
+    http = rows["HTTP (paper's choice)"]
+    https = rows["HTTPS"]
+    # The handshake dominates: producer setup time multiplies...
+    assert https[1] > 2 * http[1], "TLS handshake inflates producer setup"
+    assert https[1] - http[1] > 80, "two ~45 ms RSA operations per connect"
+    # ...and the server pays asymmetric-crypto CPU per connection.
+    assert https[2] > http[2] + 1.0, "50 handshakes cost seconds of CPU"
+    # Steady-state RTT stays the same order of magnitude (context only).
+    assert https[3] < 3 * http[3]

@@ -1,0 +1,53 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each isolates one mechanism the paper diagnosed and shows the counterfactual.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_dbn_routing(benchmark, scale, save_result):
+    """Fixing the broadcast flaw removes the wasted inter-broker traffic and
+    improves DBN latency (the paper's anticipated fix, §V)."""
+    result = run_experiment(benchmark, "ablation_dbn_routing", scale, save_result)
+    rows = {row[0]: row for row in result.table[1]}
+    flawed = rows["broadcast (v1.1.3)"]
+    fixed = rows["routed (fixed)"]
+    assert fixed[1] < flawed[1], "routing beats broadcasting on RTT"
+    assert fixed[2] < flawed[2] / 2, "routing sends far fewer forwards"
+
+
+def test_ablation_udp_ack(benchmark, scale, save_result):
+    """The ack protocol, not the datagrams, is what makes JMS-over-UDP slow;
+    removing it trades latency for unacceptable loss (§III.E.1)."""
+    result = run_experiment(benchmark, "ablation_udp_ack", scale, save_result)
+    rows = {row[0]: row for row in result.table[1]}
+    acked = rows["acked (JMS requires it)"]
+    raw = rows["raw (no ack)"]
+    assert raw[1] < acked[1] / 2, "raw UDP latency is TCP-like"
+    raw_loss = float(raw[2].rstrip("%")) / 100
+    acked_loss = float(acked[2].rstrip("%")) / 100
+    assert raw_loss > 0.01, "raw UDP loses messages wholesale"
+    assert acked_loss < raw_loss / 10, "acking recovers almost everything"
+
+
+def test_ablation_rgma_mediator(benchmark, scale, save_result):
+    """R-GMA's Process Time is middleware cost: zeroing the consumer's
+    per-tuple work collapses PT (Fig 15's diagnosis)."""
+    result = run_experiment(benchmark, "ablation_rgma_mediator", scale, save_result)
+    rows = {row[0]: row for row in result.table[1]}
+    modelled_pt = rows["gLite 3.0 (modelled)"][2]
+    ablated_pt = rows["zero-cost mediator"][2]
+    assert ablated_pt < modelled_pt / 2
+
+
+def test_ablation_aggregation(benchmark, scale, save_result):
+    """Message quantity dominates byte volume (the §IV RMM observation):
+    same bytes/s in 1/3 the messages costs only slightly more per message."""
+    result = run_experiment(benchmark, "ablation_aggregation", scale, save_result)
+    rows = result.table[1]
+    small = rows[0]
+    big = rows[1]
+    assert big[1] < small[1] / 2, "1/3 the message count in the same window"
+    # Tripling bytes does not triple RTT: per-message cost dominates.
+    assert big[2] < 3 * small[2]

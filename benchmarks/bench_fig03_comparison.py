@@ -1,0 +1,29 @@
+"""Table II + Fig 3: the six Narada comparison tests (RTT and STDDEV).
+
+Paper shape: TCP is the fastest and most stable; NIO is close behind; UDP
+(JMS-acked) is several times slower with a large deviation; tripling the
+payload slows delivery; 800-vs-80 connections at equal throughput are
+comparable.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig3_comparison(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "table2_fig3", scale, save_result)
+    assert result.table is not None
+    rows = {row[0]: row for row in result.table[1]}
+
+    tcp_rtt, tcp_std = rows["TCP"][1], rows["TCP"][2]
+    udp_rtt = rows["UDP"][1]
+    nio_rtt = rows["NIO"][1]
+    triple_rtt = rows["Triple"][1]
+    c80_rtt = rows["80"][1]
+
+    # Who wins and by roughly what factor (paper Fig 3).
+    assert tcp_rtt < 10, "TCP RTT is a few milliseconds"
+    assert udp_rtt > 2 * tcp_rtt, "JMS-over-UDP is several times slower"
+    assert rows["UDP"][2] > 5 * tcp_std, "UDP deviation blows up"
+    assert tcp_rtt < nio_rtt < udp_rtt, "NIO sits between TCP and UDP"
+    assert triple_rtt > tcp_rtt, "large payloads slow Narada down"
+    assert abs(c80_rtt - tcp_rtt) < tcp_rtt, "80 conns at 10x rate ~ comparable"

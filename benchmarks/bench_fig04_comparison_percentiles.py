@@ -1,0 +1,29 @@
+"""Fig 4: percentile of RTT (95-100 %) for the comparison tests.
+
+Paper shape: TCP/NIO percentile curves stay flat and low; UDP's tail climbs
+to hundreds of milliseconds (retransmission timeouts); Triple sits above
+TCP.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig4_percentiles(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig4", scale, save_result)
+
+    def curve(label):
+        return {p.x: p.y for p in result.series[label]}
+
+    tcp, udp, nio, triple = (curve(n) for n in ("TCP", "UDP", "NIO", "Triple"))
+
+    # Curves are monotone in percentile.
+    for c in (tcp, udp, nio, triple):
+        values = [c[p] for p in sorted(c)]
+        assert values == sorted(values)
+
+    # TCP's 100th percentile stays within tens of ms; UDP's reaches the
+    # retransmission-timeout regime (paper: up to ~250 ms).
+    assert tcp[100.0] < 60
+    assert udp[100.0] > 100
+    assert udp[99.0] > tcp[99.0]
+    assert triple[95.0] > tcp[95.0]

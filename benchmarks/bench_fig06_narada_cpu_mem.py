@@ -1,0 +1,30 @@
+"""Fig 6: Narada CPU idle and memory consumption vs connections.
+
+Paper shape: CPU idle falls and memory rises as connections grow; the DBN
+spreads the same work across four brokers (its per-node memory is smaller)
+while its total CPU cost is inflated by the broadcast flaw.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig6_cpu_mem(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig6", scale, save_result)
+    cpu = {p.x: p.y for p in result.series["CPU"]}
+    mem = {p.x: p.y for p in result.series["MEM"]}
+    cpu2 = {p.x: p.y for p in result.series["CPU2"]}
+    mem2 = {p.x: p.y for p in result.series["MEM2"]}
+
+    xs = sorted(cpu)
+    # CPU idle decreases, memory increases with connections.
+    assert [cpu[x] for x in xs] == sorted((cpu[x] for x in xs), reverse=True)
+    assert [mem[x] for x in xs] == sorted(mem[x] for x in xs)
+
+    xs2 = sorted(cpu2)
+    assert [cpu2[x] for x in xs2] == sorted((cpu2[x] for x in xs2), reverse=True)
+    assert [mem2[x] for x in xs2] == sorted(mem2[x] for x in xs2)
+
+    # Memory scales with connection count (per-connection buffers+stacks).
+    assert mem[xs[-1]] > 2 * mem[xs[0]]
+    # The DBN covers higher connection counts than the single broker.
+    assert max(xs2) > max(xs)

@@ -1,0 +1,28 @@
+"""Fig 8: Narada single-broker percentile of RTT, 500-3000 connections.
+
+Paper shape: curves stack by connection count (more connections -> higher
+percentiles) and stay within a few hundred milliseconds at the 100th
+percentile.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig8_single_percentiles(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig8", scale, save_result)
+    labels = sorted(result.series, key=int)
+    assert len(labels) >= 3
+
+    curves = {
+        label: {p.x: p.y for p in result.series[label]} for label in labels
+    }
+    for label, curve in curves.items():
+        values = [curve[p] for p in sorted(curve)]
+        assert values == sorted(values), "percentile curves are monotone"
+
+    # Stacking: the largest connection count dominates the smallest at the
+    # 99th percentile.
+    low, high = labels[0], labels[-1]
+    assert curves[high][99.0] > curves[low][99.0]
+    # All within the paper's sub-second regime.
+    assert curves[high][100.0] < 1000

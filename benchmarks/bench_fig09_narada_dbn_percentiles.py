@@ -1,0 +1,25 @@
+"""Fig 9: Narada DBN percentile of RTT, 2000-4000 connections.
+
+Paper shape: same stacking as Fig 8 but shifted right (more connections)
+with a heavier tail at 4000 (hub nearing saturation; up to ~450 ms).
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig9_dbn_percentiles(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig9", scale, save_result)
+    labels = sorted(result.series, key=int)
+    assert int(labels[-1]) >= 4000
+
+    curves = {
+        label: {p.x: p.y for p in result.series[label]} for label in labels
+    }
+    for curve in curves.values():
+        values = [curve[p] for p in sorted(curve)]
+        assert values == sorted(values)
+
+    low, high = labels[0], labels[-1]
+    assert curves[high][99.0] > curves[low][99.0]
+    # Heavy but bounded tail at 4000 (paper: hundreds of ms, not seconds).
+    assert 20 < curves[high][100.0] < 1000

@@ -1,0 +1,21 @@
+"""Fig 10: R-GMA Primary + Secondary Producer percentiles, 50-200 conns.
+
+Paper shape: "The delays were up to 35 seconds" — every tuple routed through
+the Secondary Producer carries its deliberate 30 s republish delay plus the
+normal pipeline latency.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10_secondary_producer(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig10", scale, save_result)
+    labels = sorted(result.series, key=int)
+    assert labels, "sweep produced series"
+    for label in labels:
+        curve = {p.x: p.y for p in result.series[label]}
+        values = [curve[p] for p in sorted(curve)]
+        assert values == sorted(values)
+        # Seconds domain: everything between 30 and ~40 s.
+        assert 29.0 < curve[95.0] < 40.0
+        assert curve[100.0] < 45.0

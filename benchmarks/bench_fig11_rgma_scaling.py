@@ -1,0 +1,33 @@
+"""Fig 11: R-GMA RTT & STDDEV vs connections, single server vs distributed.
+
+Paper shape: RTT in the seconds domain (three orders of magnitude above
+Narada); it grows with connections; a single server cannot accept 800
+connections (OOM); the distributed deployment is faster at the same load
+and reaches 1000+ connections; 99 % of messages within ~4000 ms.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11_rgma_scaling(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig11", scale, save_result)
+    rtt = {p.x: p.y for p in result.series["RTT"]}
+    rtt2 = {p.x: p.y for p in result.series["RTT2"]}
+
+    xs = sorted(rtt)
+    # Seconds domain, increasing with load.
+    assert 200 < rtt[xs[0]] < 3000
+    assert rtt[xs[-1]] > rtt[xs[0]]
+
+    # Single-server OOM wall below 800.
+    assert 800 not in rtt
+    assert any("OOM" in note for note in result.notes)
+
+    # Distributed reaches 1000 and beats single at overlapping counts.
+    assert max(rtt2) >= 1000
+    overlap = set(rtt) & set(rtt2)
+    assert overlap
+    for x in overlap:
+        assert rtt2[x] < rtt[x], "distributed R-GMA performs better (§III.F.1)"
+
+    assert any("4000 ms" in note for note in result.notes)

@@ -1,0 +1,24 @@
+"""Fig 12: R-GMA single-server percentile of RTT, 100-600 connections.
+
+Paper shape: percentile curves in the 2000-7000 ms band, stacking with
+connection count.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12_rgma_single_percentiles(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig12", scale, save_result)
+    labels = sorted(result.series, key=int)
+    assert len(labels) >= 3
+    curves = {
+        label: {p.x: p.y for p in result.series[label]} for label in labels
+    }
+    for curve in curves.values():
+        values = [curve[p] for p in sorted(curve)]
+        assert values == sorted(values)
+    low, high = labels[0], labels[-1]
+    assert curves[high][99.0] > curves[low][99.0]
+    # Seconds domain (paper's fig 12 y-axis spans 2000-7000 ms).
+    assert curves[high][99.0] > 700
+    assert curves[high][100.0] < 20_000

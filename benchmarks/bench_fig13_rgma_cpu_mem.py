@@ -1,0 +1,25 @@
+"""Fig 13: R-GMA CPU idle and memory, single vs distributed.
+
+Paper shape: the single server's CPU idle collapses and memory climbs with
+connections; "CPU load of a distributed architecture is lower than a single
+server.  The results strongly suggest that R-GMA scales very well."
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13_rgma_cpu_mem(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig13", scale, save_result)
+    cpu = {p.x: p.y for p in result.series["CPU"]}
+    mem = {p.x: p.y for p in result.series["MEM"]}
+    cpu2 = {p.x: p.y for p in result.series["CPU2"]}
+
+    xs = sorted(cpu)
+    assert [cpu[x] for x in xs] == sorted((cpu[x] for x in xs), reverse=True)
+    assert [mem[x] for x in xs] == sorted(mem[x] for x in xs)
+
+    # Distributed idle exceeds single-server idle at common counts.
+    overlap = set(cpu) & set(cpu2)
+    assert overlap
+    for x in overlap:
+        assert cpu2[x] > cpu[x], "distributing sheds per-node load"

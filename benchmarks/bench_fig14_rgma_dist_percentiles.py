@@ -1,0 +1,22 @@
+"""Fig 14: R-GMA distributed-network percentile of RTT, 400-1000 conns.
+
+Paper shape: the distributed deployment holds its percentile curves in the
+2500-4500 ms band even at 1000 connections — well below the single server's
+blow-up trajectory.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig14_rgma_distributed_percentiles(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig14", scale, save_result)
+    labels = sorted(result.series, key=int)
+    assert int(labels[-1]) >= 1000
+    curves = {
+        label: {p.x: p.y for p in result.series[label]} for label in labels
+    }
+    for curve in curves.values():
+        values = [curve[p] for p in sorted(curve)]
+        assert values == sorted(values)
+    # Bounded even at 1000 connections (no blow-up).
+    assert curves[labels[-1]][100.0] < 10_000

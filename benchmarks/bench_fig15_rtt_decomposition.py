@@ -1,0 +1,27 @@
+"""Fig 15: RTT decomposition — RTT = PRT + PT + SRT.
+
+Paper shape: R-GMA's Publishing and Subscribing Response Times are short but
+its Process Time is very long (the delay lives in the Primary Producer and
+Consumer); all three Narada phases are very short.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig15_decomposition(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig15", scale, save_result)
+    assert result.table is not None
+    rows = {row[0]: row[1:] for row in result.table[1]}
+
+    rgma_prt, rgma_pt, rgma_srt, rgma_rtt = rows["RGMA"]
+    narada_prt, narada_pt, narada_srt, narada_rtt = rows["Narada"]
+
+    # R-GMA: PT dominates both response times.
+    assert rgma_pt > 2 * rgma_prt
+    assert rgma_pt > 2 * rgma_srt
+    # Narada: everything short (single-digit ms in total).
+    assert narada_rtt < 50
+    # Orders of magnitude apart.
+    assert rgma_rtt > 50 * narada_rtt
+    # Identity RTT = PRT + PT + SRT holds by construction.
+    assert abs(rgma_rtt - (rgma_prt + rgma_pt + rgma_srt)) < 1e-6

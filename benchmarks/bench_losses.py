@@ -1,0 +1,29 @@
+"""In-text loss rates (§III.E.1 and §III.F).
+
+Paper: UDP 0.06 %, UDP CLI 0.03 %, zero for every TCP-family test; R-GMA
+0.17 % when producers publish without the warm-up wait, zero with it.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def _parse_rate(cell: str) -> float:
+    return float(cell.rstrip("%")) / 100.0
+
+
+def test_losses(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "losses", scale, save_result)
+    assert result.table is not None
+    rows = {row[0]: row for row in result.table[1]}
+
+    # TCP-family: zero loss.
+    for name in ("TCP", "NIO", "Triple", "80"):
+        assert _parse_rate(rows[name][3]) == 0.0
+
+    # UDP-family: small but (statistically) non-zero; bounded well under 1%.
+    for name in ("UDP", "UDP CLI"):
+        assert _parse_rate(rows[name][3]) < 0.01
+
+    # R-GMA: loss without warm-up, none with.
+    assert _parse_rate(rows["R-GMA no warm-up"][3]) > 0.0
+    assert _parse_rate(rows["R-GMA 10-20 s warm-up"][3]) == 0.0

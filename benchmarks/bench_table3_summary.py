@@ -1,0 +1,28 @@
+"""Table III: the qualitative comparison, derived from measurements.
+
+Paper verdicts: R-GMA = Average / Average / Very good;
+Narada = Very good / Very good / Average.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table3(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "table3", scale, save_result)
+    assert result.table is not None
+    verdicts = {row[0]: row[1:] for row in result.table[1]}
+
+    assert verdicts["R-GMA"][0] == "Average"      # real-time performance
+    assert verdicts["R-GMA"][1] == "Average"      # connections & throughput
+    assert verdicts["R-GMA"][2] == "Very good"    # scalability
+
+    assert verdicts["Narada"][0] == "Very good"
+    assert verdicts["Narada"][1] == "Very good"
+    assert verdicts["Narada"][2] == "Average"
+
+    # The underlying measurements are attached for inspection.
+    narada = result.meta["narada"]
+    rgma = result.meta["rgma"]
+    assert narada.rtt_ms_light < 50
+    assert rgma.rtt_ms_light > 200
+    assert narada.max_connections_single > rgma.max_connections_single

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Control-plane monitoring: detecting a malfunctioning generator.
+
+The paper's §I example: "if a power generator has been switched on but does
+not respond for a long time then it will be considered to be
+malfunctioning."  A control centre sends switch-on commands over JMS
+request/reply (temporary topics + correlation ids); a generator that never
+answers within the deadline is flagged.
+
+Run:  python examples/generator_control.py
+"""
+
+from repro.cluster import HydraCluster
+from repro.jms import MapMessage, TextMessage, Topic
+from repro.jms.requestor import TopicRequestor, reply_to
+from repro.narada import Broker, narada_connection_factory
+from repro.sim import Simulator
+from repro.transport import TcpTransport
+
+COMMANDS = Topic("generator.commands")
+
+
+def main() -> None:
+    sim = Simulator(seed=99)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    broker = Broker(sim, cluster.node("hydra1"), "broker1")
+    broker.serve(tcp, 5045)
+
+    def mkconn(node):
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node(node), "hydra1", 5045
+        )
+        holder = {}
+
+        def go():
+            conn = yield from factory.create_connection()
+            conn.start()
+            holder["c"] = conn
+
+        sim.run_process(go())
+        return holder["c"]
+
+    # Three generators: gen-1 and gen-2 healthy, gen-3 silent (tripped
+    # controller, §I's malfunction case).
+    for gen_id, healthy in ((1, True), (2, True), (3, False)):
+        conn = mkconn(f"hydra{1 + gen_id}")
+
+        def setup(conn=conn, gen_id=gen_id, healthy=healthy):
+            session = conn.create_session()
+
+            def on_command(message, session=session, gen_id=gen_id, healthy=healthy):
+                if message.get_int("target") != gen_id or not healthy:
+                    return
+                yield sim.timeout(0.2)  # actuation time
+                status = TextMessage(f"generator-{gen_id}: ON, 48.5 kW")
+                yield from reply_to(session, message, status)
+
+            yield from session.create_subscriber(COMMANDS, listener=on_command)
+
+        sim.run_process(setup())
+
+    # The control centre.
+    control = mkconn("hydra8")
+
+    def control_loop():
+        session = control.create_session()
+        requestor = TopicRequestor(session, COMMANDS)
+        for gen_id in (1, 2, 3):
+            command = MapMessage()
+            command.set_string("action", "switch-on")
+            command.set_int("target", gen_id)
+            command.set_property("target", gen_id)
+            print(f"t={sim.now:6.2f}s  control: switch-on -> generator {gen_id}")
+            reply = yield from requestor.request(command, timeout=5.0)
+            if reply is None:
+                print(f"t={sim.now:6.2f}s  generator {gen_id}: NO RESPONSE "
+                      "within 5 s -> flagged as MALFUNCTIONING")
+            else:
+                print(f"t={sim.now:6.2f}s  generator {gen_id}: {reply.text}")
+
+    sim.run_process(control_loop())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Head-to-head: the paper's study in one run.
+
+Runs the same monitoring workload through NaradaBrokering and R-GMA,
+decomposes each RTT into the paper's PRT/PT/SRT phases (Fig 15), checks the
+soft real-time requirement for both, and derives Table III's qualitative
+verdicts from the measurements.
+
+Run:  python examples/middleware_comparison.py
+"""
+
+from repro.core import decompose
+from repro.core.metrics import soft_realtime_compliance
+from repro.harness.narada_experiments import narada_run
+from repro.harness.rgma_experiments import rgma_run
+from repro.harness.scale import Scale
+
+
+def main() -> None:
+    scale = Scale.smoke()
+    connections = 200
+    print(f"running {connections} generators through both middlewares ...\n")
+
+    narada = narada_run(connections, scale=scale, seed=3)
+    rgma = rgma_run(connections, scale=scale, seed=3)
+
+    header = f"{'':24s} {'Narada':>12s} {'R-GMA':>12s}"
+    print(header)
+    print("-" * len(header))
+
+    def line(label, a, b, fmt="{:>12.2f}"):
+        print(f"{label:24s} {fmt.format(a)} {fmt.format(b)}")
+
+    line("mean RTT (ms)", narada.mean_rtt_ms, rgma.mean_rtt_ms)
+    line("stddev (ms)", narada.stddev_rtt_ms, rgma.stddev_rtt_ms)
+    line("loss rate (%)", narada.loss_rate * 100, rgma.loss_rate * 100)
+
+    n_phases = decompose(narada.book, since=narada.measure_since)
+    r_phases = decompose(rgma.book, since=rgma.measure_since)
+    print()
+    line("PRT (ms)", n_phases.prt_ms, r_phases.prt_ms)
+    line("PT  (ms)", n_phases.pt_ms, r_phases.pt_ms)
+    line("SRT (ms)", n_phases.srt_ms, r_phases.srt_ms)
+
+    print()
+    for name, run in (("Narada", narada), ("R-GMA", rgma)):
+        ok, frac, _ = soft_realtime_compliance(
+            run.book, deadline_s=5.0, max_loss=0.005, since=run.measure_since
+        )
+        verdict = "MEETS" if ok else "VIOLATES"
+        print(f"{name}: soft real-time requirement (5 s, <0.5%): {verdict} "
+              f"({frac:.3%} late/lost)")
+
+    print("\npaper's conclusion (§V): NaradaBrokering has very good real-time"
+          "\nperformance; the current version of R-GMA is not suitable for"
+          "\nreal-time monitoring — but offers content filtering and"
+          "\nlatest/history queries for less time-critical applications.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Simulated hardware substrate: nodes, LAN, JVM memory model, vmstat.
+
+This package stands in for the paper's testbed — the 8-node "Hydra" cluster
+of Pentium III 866 MHz machines on an isolated 100 Mbps switched LAN (paper
+Table I).  See DESIGN.md §2 for why each substitution preserves the behaviour
+the paper measures.
+"""
+
+from repro.cluster.jvm import Jvm, OutOfMemoryError
+from repro.cluster.network import Lan, Link
+from repro.cluster.node import Node
+from repro.cluster.vmstat import VmStat
+from repro.cluster.hydra import HydraCluster, HYDRA_SPEC
+
+__all__ = [
+    "HYDRA_SPEC",
+    "HydraCluster",
+    "Jvm",
+    "Lan",
+    "Link",
+    "Node",
+    "OutOfMemoryError",
+    "VmStat",
+]

@@ -1,0 +1,226 @@
+"""The switched LAN model.
+
+The paper's testbed is eight nodes on an isolated 100 Mbps switch, with an
+observed application data rate of 7–8 Mbyte/s (paper §III.A).  We model a
+store-and-forward switch: a frame is serialised onto the sender's NIC
+transmit queue, propagates through the switch, and is serialised again on the
+receiver's NIC receive path.  Each NIC direction is a FIFO queue in *virtual
+time*: instead of simulating every frame as a process, a link keeps the time
+its queue drains (``_next_free``) and computes each transfer's queueing +
+serialisation delay in O(1).  Queueing delay at the receive side of a loaded
+broker node is the dominant latency term in the paper's scaling experiments.
+
+Datagram ("UDP") transfers can be dropped, either randomly (configured loss
+probability per fragment) or deterministically when the virtual queue exceeds
+the socket buffer.  Stream transfers are never dropped here — reliability is
+the transport layer's job (see :mod:`repro.transport.tcp`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: Ethernet maximum transmission unit (payload bytes per frame).
+MTU = 1500
+#: Per-frame overhead: Ethernet + IP + TCP headers, preamble, inter-frame gap.
+FRAME_OVERHEAD_TCP = 78
+#: Per-frame overhead for UDP datagram fragments.
+FRAME_OVERHEAD_UDP = 66
+
+
+@dataclass
+class LinkStats:
+    """Counters a link accumulates for reporting."""
+
+    frames: int = 0
+    bytes: int = 0
+    drops_random: int = 0
+    drops_overflow: int = 0
+
+
+class Link:
+    """One direction of one NIC: FIFO serialisation in virtual time."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        bandwidth_bps: float = 100e6,
+        buffer_bytes: float = 256 * 1024,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.buffer_bytes = buffer_bytes
+        self._next_free = 0.0
+        self.stats = LinkStats()
+
+    @property
+    def queued_bytes(self) -> float:
+        """Bytes currently waiting in the virtual queue."""
+        backlog_seconds = max(0.0, self._next_free - self.sim.now)
+        return backlog_seconds * self.bandwidth_bps / 8.0
+
+    def serialize(self, nbytes: float, droppable: bool = False) -> Optional[float]:
+        """Queue ``nbytes`` onto the link.
+
+        Returns the absolute time the last bit leaves the link, or ``None``
+        when ``droppable`` and the queue would overflow the buffer.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if droppable and self.queued_bytes + nbytes > self.buffer_bytes:
+            self.stats.drops_overflow += 1
+            return None
+        start = max(self.sim.now, self._next_free)
+        self._next_free = start + nbytes * 8.0 / self.bandwidth_bps
+        self.stats.frames += 1
+        self.stats.bytes += int(nbytes)
+        return self._next_free
+
+
+class Lan:
+    """A full-duplex switched LAN connecting named hosts.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    bandwidth_bps:
+        Per-port line rate (paper: 100 Mbps).
+    switch_latency:
+        Fixed propagation + switching delay per frame burst (seconds).
+    jitter_mean:
+        Mean of the exponential jitter added per transfer (OS scheduling,
+        interrupt coalescing).  Seeded per host pair.
+    loopback_delay:
+        Delay for same-host transfers (kernel loopback, no NIC involved).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth_bps: float = 100e6,
+        switch_latency: float = 150e-6,
+        jitter_mean: float = 80e-6,
+        loopback_delay: float = 30e-6,
+        buffer_bytes: float = 256 * 1024,
+    ):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.switch_latency = switch_latency
+        self.jitter_mean = jitter_mean
+        self.loopback_delay = loopback_delay
+        self.buffer_bytes = buffer_bytes
+        self._tx: dict[str, Link] = {}
+        self._rx: dict[str, Link] = {}
+
+    def attach(self, host: str) -> None:
+        """Register ``host`` on the switch (idempotent)."""
+        if host not in self._tx:
+            self._tx[host] = Link(
+                self.sim, f"{host}.tx", self.bandwidth_bps, self.buffer_bytes
+            )
+            self._rx[host] = Link(
+                self.sim, f"{host}.rx", self.bandwidth_bps, self.buffer_bytes
+            )
+
+    def hosts(self) -> list[str]:
+        return sorted(self._tx)
+
+    def tx_link(self, host: str) -> Link:
+        return self._tx[host]
+
+    def rx_link(self, host: str) -> Link:
+        return self._rx[host]
+
+    # ------------------------------------------------------------ transfers
+    def frame_count(self, nbytes: float) -> int:
+        """Number of MTU-sized fragments a payload occupies."""
+        return max(1, math.ceil(nbytes / MTU))
+
+    def wire_bytes(self, nbytes: float, overhead: int) -> float:
+        """Payload plus per-frame protocol overhead."""
+        return nbytes + self.frame_count(nbytes) * overhead
+
+    def transmit(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        *,
+        droppable: bool = False,
+        loss_probability: float = 0.0,
+        overhead: int = FRAME_OVERHEAD_TCP,
+    ) -> Optional[Event]:
+        """Move ``nbytes`` of payload from ``src`` to ``dst``.
+
+        Returns an event firing at delivery time, or ``None`` when the
+        transfer was dropped (only possible with ``droppable=True``).
+        The event's value is the one-way delay in seconds.
+        """
+        if src not in self._tx or dst not in self._tx:
+            raise KeyError(f"unknown host in transfer {src!r} -> {dst!r}")
+
+        now = self.sim.now
+        if src == dst:
+            delay = self.loopback_delay
+            ev = self.sim.event()
+            ev.succeed(delay, delay=delay)
+            return ev
+
+        tx = self._tx[src]
+        rx = self._rx[dst]
+
+        if droppable and loss_probability > 0.0:
+            # Per-fragment random loss; one lost fragment loses the datagram.
+            frags = self.frame_count(nbytes)
+            p_msg = 1.0 - (1.0 - loss_probability) ** frags
+            if self.sim.rng.random(f"lan.loss.{src}->{dst}") < p_msg:
+                tx.stats.drops_random += 1
+                return None
+
+        wire = self.wire_bytes(nbytes, overhead)
+        tx_done = tx.serialize(wire, droppable=droppable)
+        if tx_done is None:
+            return None
+        # The frame reaches the destination port after the switch latency;
+        # receive-side serialisation starts no earlier than that.
+        arrival_at_rx = tx_done + self.switch_latency
+        rx_start_lag = max(0.0, arrival_at_rx - self.sim.now)
+        # Model the rx queue in its own virtual time, offset by the lag.
+        rx_done = self._serialize_at(rx, wire, rx_start_lag, droppable)
+        if rx_done is None:
+            tx.stats.drops_overflow += 1  # counted where it is observed
+            return None
+        jitter = self.sim.rng.exponential(f"lan.jitter.{src}->{dst}", self.jitter_mean)
+        delivery = rx_done + jitter
+        delay = delivery - now
+        ev = self.sim.event()
+        ev.succeed(delay, delay=delay)
+        return ev
+
+    def _serialize_at(
+        self, link: Link, nbytes: float, start_lag: float, droppable: bool
+    ) -> Optional[float]:
+        """Serialise onto ``link`` as if enqueued ``start_lag`` in the future."""
+        earliest = self.sim.now + start_lag
+        if droppable:
+            backlog = max(0.0, link._next_free - earliest)
+            if backlog * link.bandwidth_bps / 8.0 + nbytes > link.buffer_bytes:
+                link.stats.drops_overflow += 1
+                return None
+        start = max(earliest, link._next_free)
+        link._next_free = start + nbytes * 8.0 / link.bandwidth_bps
+        link.stats.frames += 1
+        link.stats.bytes += int(nbytes)
+        return link._next_free

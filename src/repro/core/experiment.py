@@ -1,0 +1,78 @@
+"""Experiment result containers shared by the harness and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.report import render_series, render_table
+
+
+@dataclass
+class SeriesPoint:
+    """One x/y point of a figure series, with optional extras."""
+
+    x: float
+    y: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """What a harness experiment returns.
+
+    ``series`` maps a legend label (e.g. "RTT", "STDDEV2") to its points;
+    ``table`` is an optional ready-to-print row set; ``notes`` collects
+    observations the paper states in prose (OOM walls, loss rates).
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[SeriesPoint]] = field(default_factory=dict)
+    table: Optional[tuple[list[str], list[list[Any]]]] = None
+    notes: list[str] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def add_point(self, label: str, x: float, y: float, **extra: float) -> None:
+        self.series.setdefault(label, []).append(SeriesPoint(x, y, dict(extra)))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for tooling and plotting scripts)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": {
+                label: [
+                    {"x": p.x, "y": p.y, **({"extra": p.extra} if p.extra else {})}
+                    for p in points
+                ]
+                for label, points in self.series.items()
+            },
+            "table": (
+                {"headers": self.table[0], "rows": self.table[1]}
+                if self.table is not None
+                else None
+            ),
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """Human-readable reproduction of the figure/table data."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.table is not None:
+            headers, rows = self.table
+            parts.append(render_table(headers, rows))
+        if self.series:
+            parts.append(
+                render_series(self.x_label, self.y_label, self.series)
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,53 @@
+"""Plain-text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.experiment import SeriesPoint
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    series: Mapping[str, Sequence["SeriesPoint"]],
+) -> str:
+    """All series merged into one x-indexed table (like reading the figure)."""
+    labels = list(series)
+    xs = sorted({p.x for pts in series.values() for p in pts})
+    by_label = {
+        label: {p.x: p.y for p in pts} for label, pts in series.items()
+    }
+    headers = [x_label] + [f"{label} ({y_label})" for label in labels]
+    rows = []
+    for x in xs:
+        row: list[Any] = [x]
+        for label in labels:
+            row.append(by_label[label].get(x, float("nan")))
+        rows.append(row)
+    return render_table(headers, rows)

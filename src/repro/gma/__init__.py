@@ -1,0 +1,37 @@
+"""The Grid Monitoring Architecture (GMA, GGF GFD.7).
+
+"GMA divides a pub/sub middleware into three basic components: producer,
+consumer and directory service. ... By separating data discovery from data
+transfer, GMA ensures scalability and performance" (paper §II.A).  This
+package implements the architecture in the abstract: the component
+interfaces, a directory service, and the three data transfer modes
+(publish/subscribe, query/response, notification).  R-GMA is one concrete
+realisation (:mod:`repro.rgma`); the GMA layer is also usable directly, as
+the examples show.
+"""
+
+from repro.gma.interfaces import (
+    ConsumerInterface,
+    DirectoryServiceInterface,
+    ProducerInterface,
+    ProducerRecord,
+)
+from repro.gma.directory import DirectoryService
+from repro.gma.modes import (
+    NotificationTransfer,
+    PublishSubscribeTransfer,
+    QueryResponseTransfer,
+    TransferMode,
+)
+
+__all__ = [
+    "ConsumerInterface",
+    "DirectoryService",
+    "DirectoryServiceInterface",
+    "NotificationTransfer",
+    "ProducerInterface",
+    "ProducerRecord",
+    "PublishSubscribeTransfer",
+    "QueryResponseTransfer",
+    "TransferMode",
+]

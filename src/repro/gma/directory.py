@@ -1,0 +1,72 @@
+"""The GMA directory service.
+
+"The directory service is an information service where a producer or
+consumer publishes its existence and relevant metadata to.  Consumer may
+search directory for the producer that it is interested in.  Then they can
+establish a connection and transfer data directly" (paper §II.A).
+
+Lookups charge CPU on the hosting node — the paper's closing observation is
+that "an important consideration is the efficiency of the middleware to
+locate resources within a predefined time limit", so discovery latency is a
+first-class modelled quantity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.gma.interfaces import ProducerRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.sim.kernel import Simulator
+
+
+class DirectoryService:
+    """In-memory directory hosted on a node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        publish_cpu: float = 0.002,
+        search_cpu_base: float = 0.001,
+        search_cpu_per_record: float = 20e-6,
+    ):
+        self.sim = sim
+        self.node = node
+        self.publish_cpu = publish_cpu
+        self.search_cpu_base = search_cpu_base
+        self.search_cpu_per_record = search_cpu_per_record
+        self._records: dict[str, ProducerRecord] = {}
+        self.searches = 0
+
+    def publish(self, record: ProducerRecord) -> Generator[Any, Any, None]:
+        """Register (or refresh) a component's record."""
+        yield from self.node.execute(self.publish_cpu)
+        self._records[record.name] = record
+
+    def unpublish(self, name: str) -> None:
+        self._records.pop(name, None)
+
+    def search(
+        self,
+        kind: Optional[str] = None,
+        event_type: Optional[str] = None,
+    ) -> Generator[Any, Any, list[ProducerRecord]]:
+        """Find records matching the filters (linear scan, CPU-charged)."""
+        self.searches += 1
+        yield from self.node.execute(
+            self.search_cpu_base + self.search_cpu_per_record * len(self._records)
+        )
+        out = []
+        for record in self._records.values():
+            if kind is not None and record.kind != kind:
+                continue
+            if event_type is not None and record.event_type != event_type:
+                continue
+            out.append(record)
+        return sorted(out, key=lambda r: r.name)
+
+    def __len__(self) -> int:
+        return len(self._records)

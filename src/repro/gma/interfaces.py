@@ -1,0 +1,65 @@
+"""GMA component interfaces (GGF Grid Monitoring Architecture, GFD.7).
+
+A *producer* makes monitoring events available; a *consumer* receives them;
+a *directory service* stores metadata so consumers can locate producers (and
+vice versa) without coupling discovery to data transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class ProducerRecord:
+    """Directory entry describing a producer (or consumer) endpoint."""
+
+    name: str
+    kind: str  # "producer" | "consumer"
+    event_type: str  # what data it serves, e.g. a table or topic name
+    address: str  # host the endpoint lives on
+    metadata: tuple[tuple[str, Any], ...] = ()
+
+    def metadata_dict(self) -> dict[str, Any]:
+        return dict(self.metadata)
+
+
+@runtime_checkable
+class ProducerInterface(Protocol):
+    """Serves events of one type; supports the three GMA transfer modes."""
+
+    record: ProducerRecord
+
+    def events_since(self, cursor: int) -> list[Any]:
+        """Events newer than ``cursor`` (for streaming transfers)."""
+        ...  # pragma: no cover
+
+    def all_events(self) -> list[Any]:
+        """Everything currently held (for query/response)."""
+        ...  # pragma: no cover
+
+
+@runtime_checkable
+class ConsumerInterface(Protocol):
+    """Receives events pushed by a transfer mode."""
+
+    record: ProducerRecord
+
+    def deliver(self, events: list[Any]) -> None:
+        ...  # pragma: no cover
+
+
+class DirectoryServiceInterface(Protocol):
+    """Publish/search of component existence and metadata."""
+
+    def publish(self, record: ProducerRecord) -> None:
+        ...  # pragma: no cover
+
+    def unpublish(self, name: str) -> None:
+        ...  # pragma: no cover
+
+    def search(
+        self, kind: Optional[str] = None, event_type: Optional[str] = None
+    ) -> list[ProducerRecord]:
+        ...  # pragma: no cover

@@ -1,0 +1,106 @@
+"""The three GMA data-transfer modes.
+
+"GMA proposes three data transfer modes between producer and consumer:
+publish/subscribe, query/response, and notification.  In the
+publish/subscribe mode, either a producer or consumer can initiate data
+transfer.  The producer sends data continuously and either side can
+terminate.  In the query/response mode, a consumer initiates communication
+and the producer sends all the data to the consumer in one response.  In the
+notification mode, the producer must be the initiator.  The producer sends
+all the data to the consumer in one notification" (paper §II.A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.gma.interfaces import ConsumerInterface, ProducerInterface
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.network import Lan
+    from repro.sim.kernel import Simulator
+
+
+class TransferMode:
+    """Base: a producer-consumer transfer over the LAN."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        lan: "Lan",
+        producer: ProducerInterface,
+        consumer: ConsumerInterface,
+        event_bytes: int = 256,
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.producer = producer
+        self.consumer = consumer
+        self.event_bytes = event_bytes
+        self.events_transferred = 0
+
+    def _transfer(self, events: list[Any]) -> Generator[Any, Any, None]:
+        """Ship a batch over the wire and deliver it."""
+        if not events:
+            return
+        ev = self.lan.transmit(
+            self.producer.record.address,
+            self.consumer.record.address,
+            len(events) * self.event_bytes + 64,
+        )
+        assert ev is not None
+        yield ev
+        self.consumer.deliver(events)
+        self.events_transferred += len(events)
+
+
+class PublishSubscribeTransfer(TransferMode):
+    """Continuous streaming; either side can terminate."""
+
+    def __init__(self, *args: Any, period: float = 1.0, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.period = period
+        self._running = False
+        self._cursor = 0
+
+    def start(self) -> None:
+        """Either party calls start (per GMA, either side may initiate)."""
+        if not self._running:
+            self._running = True
+            self.sim.process(self._stream(), name="gma.pubsub")
+
+    def terminate(self) -> None:
+        """Either side may terminate the stream."""
+        self._running = False
+
+    def _stream(self) -> Generator[Any, Any, None]:
+        while self._running:
+            yield self.sim.timeout(self.period)
+            events = self.producer.events_since(self._cursor)
+            if events:
+                self._cursor += len(events)
+                yield from self._transfer(events)
+
+
+class QueryResponseTransfer(TransferMode):
+    """Consumer-initiated: all data in one response."""
+
+    def query(self) -> Generator[Any, Any, list[Any]]:
+        # Consumer -> producer request.
+        req = self.lan.transmit(
+            self.consumer.record.address, self.producer.record.address, 128
+        )
+        assert req is not None
+        yield req
+        events = self.producer.all_events()
+        yield from self._transfer(events)
+        return events
+
+
+class NotificationTransfer(TransferMode):
+    """Producer-initiated: all data in one notification."""
+
+    def notify(self) -> Generator[Any, Any, int]:
+        events = self.producer.all_events()
+        yield from self._transfer(events)
+        return len(events)

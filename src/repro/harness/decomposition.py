@@ -1,0 +1,68 @@
+"""Fig 15: RTT decomposition — RTT = PRT + PT + SRT.
+
+"PRT is Publishing Response Time... PT is Process Time, which is how long it
+takes to process data in the middleware.  SRT is Subscribing Response Time...
+As we can see from the graph, both Publishing and Subscribing Response Time
+of R-GMA are short, but the Process Time is very long.  ...  The three
+phases of NaradaBrokering are very short" (§III.F.2).
+
+The figure plots cumulative time at the four phase boundaries
+(before_sending, after_sending, before_receiving, after_receiving).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import ExperimentResult, decompose
+from repro.harness.narada_experiments import narada_run
+from repro.harness.rgma_experiments import rgma_run
+from repro.harness.scale import Scale
+
+PHASES = ("before_sending", "after_sending", "before_receiving", "after_receiving")
+
+
+def fig15(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    connections: int = 400,
+) -> ExperimentResult:
+    """Instrumented runs of both systems at a common moderate load."""
+    result = ExperimentResult(
+        "fig15",
+        "RTT decomposition (cumulative ms at each phase boundary)",
+        "phase",
+        "millisecond",
+    )
+    narada = narada_run(connections, scale=scale, seed=seed)
+    rgma = rgma_run(connections, scale=scale, seed=seed)
+    rows = []
+    for label, run in (("RGMA", rgma), ("Narada", narada)):
+        phases = decompose(run.book, since=run.measure_since)
+        cumulative = [
+            0.0,
+            phases.prt_ms,
+            phases.prt_ms + phases.pt_ms,
+            phases.prt_ms + phases.pt_ms + phases.srt_ms,
+        ]
+        for x, (phase, value) in enumerate(zip(PHASES, cumulative)):
+            result.add_point(label, x, value)
+        rows.append(
+            [label, phases.prt_ms, phases.pt_ms, phases.srt_ms, phases.rtt_ms]
+        )
+    result.table = (
+        ["system", "PRT (ms)", "PT (ms)", "SRT (ms)", "RTT (ms)"],
+        rows,
+    )
+    rgma_phases = decompose(rgma.book, since=rgma.measure_since)
+    narada_phases = decompose(narada.book, since=narada.measure_since)
+    if rgma_phases.pt_ms > 3 * max(rgma_phases.prt_ms, rgma_phases.srt_ms):
+        result.note(
+            "R-GMA: PRT and SRT are short; the Process Time dominates "
+            "(the delay lives in the Primary Producer and Consumer, §III.F.2)"
+        )
+    result.note(
+        f"Narada total RTT {narada_phases.rtt_ms:.1f} ms vs "
+        f"R-GMA {rgma_phases.rtt_ms:.0f} ms"
+    )
+    return result

@@ -1,0 +1,414 @@
+"""NaradaBrokering experiments: Table II / Figs 3, 4, 6, 7, 8, 9.
+
+One building block — :func:`narada_run` — sets up the testbed exactly as
+§III.E describes (brokers, per-node subscribers with id-range selectors,
+staggered generator fleet), runs it, and returns the record book plus node
+statistics.  The figure builders assemble paper series from such runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster import HydraCluster, VmStat
+from repro.cluster.vmstat import VmStatSummary
+from repro.core import ExperimentResult, RecordBook, percentile_curve, rtt_stats
+from repro.core.metrics import within_threshold
+from repro.harness.scale import Scale
+from repro.jms import AckMode
+from repro.narada import Broker, BrokerNetwork, NaradaConfig
+from repro.powergrid import FleetConfig, NaradaFleet, NaradaReceiver
+from repro.powergrid.workload import MONITORING_TOPIC
+from repro.sim import Simulator
+from repro.transport import NioTransport, TcpTransport, UdpTransport
+
+BROKER_PORT = 5045
+CLIENT_NODES = ("hydra5", "hydra6", "hydra7", "hydra8")
+BROKER_NODES_SINGLE = ("hydra1",)
+BROKER_NODES_DBN = ("hydra1", "hydra2", "hydra3", "hydra4")
+
+
+def steady_state_summary(vm: VmStat, since: float) -> VmStatSummary:
+    """CPU idle over the steady-state window; memory consumption (peak −
+    bottom, the paper's definition) over the whole run — connection setup is
+    where most memory is committed."""
+    cpu = vm.summary(warmup=since)
+    mem = vm.summary(warmup=0.0)
+    return VmStatSummary(
+        mean_cpu_idle_percent=cpu.mean_cpu_idle_percent,
+        memory_consumption_bytes=mem.memory_consumption_bytes,
+        samples=cpu.samples,
+    )
+
+
+@dataclass
+class NaradaRunResult:
+    """Everything one test run produces."""
+
+    connections: int
+    book: RecordBook
+    measure_since: float
+    vmstat: dict[str, VmStatSummary]
+    oom: bool
+    refused: int
+    sent: int
+    received: int
+    mean_rtt_ms: float
+    stddev_rtt_ms: float
+    loss_rate: float
+    rtts: Any  # np.ndarray of measured-window RTT seconds
+    broker_stats: dict[str, Any] = field(default_factory=dict)
+
+
+def _make_transport(kind: str, sim: Simulator, lan: Any) -> Any:
+    if kind == "tcp":
+        return TcpTransport(sim, lan)
+    if kind == "nio":
+        return NioTransport(sim, lan)
+    if kind == "udp":
+        # JMS over UDP: transport-level ack with retransmission (§III.E.1).
+        return UdpTransport(
+            sim, lan, loss_probability=0.017, acked=True, rto=0.15, max_retries=1
+        )
+    raise ValueError(f"unknown transport {kind!r}")
+
+
+def narada_run(
+    connections: int,
+    *,
+    dbn: bool = False,
+    transport_kind: str = "tcp",
+    ack_mode: int = AckMode.AUTO_ACKNOWLEDGE,
+    payload_multiplier: int = 1,
+    publish_interval: float = 10.0,
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    config: Optional[NaradaConfig] = None,
+) -> NaradaRunResult:
+    """One §III.E test: ``connections`` generators against one broker or the
+    4-broker DBN, measured in steady state."""
+    scale = scale or Scale.from_env()
+    sim = Simulator(seed=seed)
+    cluster = HydraCluster(sim)
+    transport = _make_transport(transport_kind, sim, cluster.lan)
+    config = config or NaradaConfig()
+
+    broker_nodes = BROKER_NODES_DBN if dbn else BROKER_NODES_SINGLE
+    brokers: list[Broker] = []
+    for i, node_name in enumerate(broker_nodes):
+        broker = Broker(sim, cluster.node(node_name), f"broker{i + 1}", config)
+        broker.serve(transport, BROKER_PORT)
+        brokers.append(broker)
+    if dbn:
+        network = BrokerNetwork(sim, transport)
+
+        def build_network():
+            for broker in brokers:
+                yield from network.add_broker(broker)
+            # The paper's unit controller (hub) + three leaves.
+            yield from network.star(brokers[0].name, [b.name for b in brokers[1:]])
+
+        sim.run_process(build_network())
+
+    vmstats = {
+        node_name: VmStat(sim, cluster.node(node_name)) for node_name in broker_nodes
+    }
+
+    creation_span = connections * scale.creation_interval_narada
+    measure_since = sim.now + creation_span + scale.warmup[1] + 2.0
+    stop_at = measure_since + scale.duration
+    fleet_config = FleetConfig(
+        n_generators=connections,
+        publish_interval=publish_interval,
+        creation_interval=scale.creation_interval_narada,
+        warmup_min=scale.warmup[0],
+        warmup_max=scale.warmup[1],
+        duration=scale.duration,
+        stop_at=stop_at,
+        payload_multiplier=payload_multiplier,
+        client_nodes=CLIENT_NODES,
+    )
+    book = RecordBook()
+
+    # Per-client-node subscribers, each with an id-range selector covering
+    # its own node's generators ("data were received by the node where they
+    # were sent", §III.E.2).  In the DBN, publishers connect to *publishing*
+    # brokers (the leaves) and subscribers to the *subscribing* broker (the
+    # hub/unit controller) per Fig 5, so every event crosses the broker
+    # network.
+    if dbn:
+        leaf_addresses = [(node, BROKER_PORT) for node in broker_nodes[1:]]
+        publisher_addresses = [
+            leaf_addresses[k % len(leaf_addresses)] for k in range(len(CLIENT_NODES))
+        ]
+        subscriber_address = (broker_nodes[0], BROKER_PORT)
+    else:
+        publisher_addresses = [(broker_nodes[0], BROKER_PORT)] * len(CLIENT_NODES)
+        subscriber_address = (broker_nodes[0], BROKER_PORT)
+    receivers: list[NaradaReceiver] = []
+    receivers_failed = 0
+    for k, client_node in enumerate(CLIENT_NODES):
+        lo, hi = fleet_config.id_range(k)
+        if lo >= hi:
+            continue
+        address = subscriber_address
+        receiver = NaradaReceiver(
+            sim,
+            cluster,
+            transport,
+            address,
+            client_node,
+            MONITORING_TOPIC,
+            selector=f"id >= {lo} AND id < {hi}",
+            ack_mode=ack_mode,
+            config=config,
+        )
+        try:
+            sim.run_process(receiver.start())
+        except Exception:
+            receivers_failed += 1
+            continue
+        receivers.append(receiver)
+
+    fleet = NaradaFleet(
+        sim,
+        cluster,
+        transport,
+        publisher_addresses,
+        fleet_config,
+        book,
+        config=config,
+        topic=MONITORING_TOPIC,
+    )
+    fleet.start()
+
+    end = stop_at + scale.drain
+    sim.run(until=end)
+    for vm in vmstats.values():
+        vm.stop()
+
+    stats = rtt_stats(book, since=measure_since)
+    rtts = book.rtts(since=measure_since)
+    oom = fleet.stats.connections_refused > 0 or receivers_failed > 0
+    return NaradaRunResult(
+        connections=connections,
+        book=book,
+        measure_since=measure_since,
+        vmstat={
+            name: steady_state_summary(vm, measure_since)
+            for name, vm in vmstats.items()
+        },
+        oom=oom,
+        refused=fleet.stats.connections_refused,
+        sent=stats.sent,
+        received=stats.count,
+        mean_rtt_ms=stats.mean_ms,
+        stddev_rtt_ms=stats.stddev_ms,
+        loss_rate=stats.loss_rate,
+        rtts=rtts,
+        broker_stats={
+            b.name: {
+                "published": b.stats.messages_published,
+                "delivered": b.stats.messages_delivered,
+                "forwards_received": b.stats.forwards_received,
+                "forwarded": b.stats.messages_forwarded,
+                "threads_peak": b.jvm.threads_peak,
+            }
+            for b in brokers
+        },
+    )
+
+
+# --------------------------------------------------------- comparison tests
+
+#: Table II: the six §III.E.1 comparison tests at 800 connections.
+COMPARISON_TESTS: dict[str, dict[str, Any]] = {
+    "UDP": dict(transport_kind="udp"),
+    "UDP CLI": dict(transport_kind="udp", ack_mode=AckMode.CLIENT_ACKNOWLEDGE),
+    "NIO": dict(transport_kind="nio"),
+    "TCP": dict(transport_kind="tcp"),
+    "Triple": dict(transport_kind="tcp", payload_multiplier=3),
+    "80": dict(transport_kind="tcp", connections=80, publish_interval=1.0),
+}
+
+COMPARISON_CONNECTIONS = 800
+
+
+def run_comparison_tests(
+    scale: Optional[Scale] = None, seed: int = 1
+) -> dict[str, NaradaRunResult]:
+    """All six Table II settings (shared by fig3, fig4 and the loss table)."""
+    results = {}
+    for name, overrides in COMPARISON_TESTS.items():
+        kwargs = dict(overrides)
+        connections = kwargs.pop("connections", COMPARISON_CONNECTIONS)
+        results[name] = narada_run(
+            connections, scale=scale, seed=seed, **kwargs
+        )
+    return results
+
+
+def fig3(runs: dict[str, NaradaRunResult]) -> ExperimentResult:
+    """Fig 3: RTT and STDDEV bars for the comparison tests."""
+    result = ExperimentResult(
+        "table2_fig3",
+        "Narada comparison tests: Round-Trip Time and Standard Deviation",
+        "test",
+        "millisecond",
+    )
+    headers = ["test", "RTT (ms)", "STDDEV (ms)", "loss rate"]
+    rows = []
+    order_names = [
+        n for n in ("UDP", "UDP CLI", "NIO", "Triple", "TCP", "80") if n in runs
+    ]
+    for order, name in enumerate(order_names):
+        run = runs[name]
+        rows.append(
+            [name, run.mean_rtt_ms, run.stddev_rtt_ms, f"{run.loss_rate:.4%}"]
+        )
+        result.add_point("RTT", order, run.mean_rtt_ms)
+        result.add_point("STDDEV", order, run.stddev_rtt_ms)
+    result.table = (headers, rows)
+    if "TCP" in runs and "UDP" in runs:
+        tcp, udp = runs["TCP"], runs["UDP"]
+        result.note(
+            f"UDP mean RTT is {udp.mean_rtt_ms / tcp.mean_rtt_ms:.1f}x TCP's "
+            "(JMS-over-UDP acknowledgement pathology, §III.E.1)"
+        )
+    return result
+
+
+def fig4(runs: dict[str, NaradaRunResult]) -> ExperimentResult:
+    """Fig 4: percentile of RTT (95-100%) per comparison test."""
+    result = ExperimentResult(
+        "fig4",
+        "Narada comparison tests, percentile of RTT",
+        "percentile",
+        "millisecond",
+    )
+    for name in ("NIO", "TCP", "UDP", "Triple", "80"):
+        if name not in runs:
+            continue
+        for pct, ms in percentile_curve(runs[name].rtts):
+            result.add_point(name, pct, ms)
+    return result
+
+
+# ----------------------------------------------------------- scaling sweeps
+
+SINGLE_SWEEP = (500, 1000, 2000, 3000, 4000)
+DBN_SWEEP = (2000, 3000, 4000, 5000)
+
+
+def run_scaling_sweep(
+    connections: tuple[int, ...],
+    dbn: bool,
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+) -> dict[int, NaradaRunResult]:
+    return {
+        n: narada_run(n, dbn=dbn, scale=scale, seed=seed) for n in connections
+    }
+
+
+def fig7(
+    single: dict[int, NaradaRunResult], dbn: dict[int, NaradaRunResult]
+) -> ExperimentResult:
+    """Fig 7: RTT & STDDEV vs connections, single broker vs DBN."""
+    result = ExperimentResult(
+        "fig7",
+        "Narada tests, round-trip time and standard deviation",
+        "concurrent connections",
+        "millisecond",
+    )
+    for n, run in sorted(single.items()):
+        if run.oom:
+            result.note(
+                f"single broker OOM at {n} connections "
+                f"({run.refused} refused; threads peak "
+                f"{run.broker_stats['broker1']['threads_peak']})"
+            )
+            continue
+        result.add_point("RTT", n, run.mean_rtt_ms)
+        result.add_point("STDDEV", n, run.stddev_rtt_ms)
+    for n, run in sorted(dbn.items()):
+        if run.oom:
+            result.note(f"DBN OOM at {n} connections ({run.refused} refused)")
+            continue
+        if run.mean_rtt_ms > 1000 or run.loss_rate > 0.01:
+            result.note(
+                f"DBN data congestion at {n} connections (hub saturated): "
+                "the v1.1.3 broadcast deficiency 'causes data congestion and "
+                "limits its scalability' (paper §V)"
+            )
+            continue
+        result.add_point("RTT2", n, run.mean_rtt_ms)
+        result.add_point("STDDEV2", n, run.stddev_rtt_ms)
+    # §III.E.2 headline: 99.8 % of messages within 100 ms.
+    biggest_ok = max((n for n, r in single.items() if not r.oom), default=None)
+    if biggest_ok is not None:
+        frac = within_threshold(single[biggest_ok].rtts, 0.100)
+        result.note(
+            f"single broker at {biggest_ok} connections: "
+            f"{frac:.1%} of messages within 100 ms"
+        )
+    return result
+
+
+def fig6(
+    single: dict[int, NaradaRunResult], dbn: dict[int, NaradaRunResult]
+) -> ExperimentResult:
+    """Fig 6: CPU idle and memory consumption vs connections."""
+    result = ExperimentResult(
+        "fig6",
+        "Narada tests, CPU idle and memory consumption",
+        "concurrent connections",
+        "CPU idle % / memory MB",
+    )
+    for n, run in sorted(single.items()):
+        if run.oom:
+            continue
+        vm = run.vmstat["hydra1"]
+        result.add_point("CPU", n, vm.mean_cpu_idle_percent)
+        result.add_point("MEM", n, vm.memory_consumption_mb)
+    for n, run in sorted(dbn.items()):
+        if run.oom:
+            continue
+        idles = [v.mean_cpu_idle_percent for v in run.vmstat.values()]
+        mems = [v.memory_consumption_mb for v in run.vmstat.values()]
+        result.add_point("CPU2", n, sum(idles) / len(idles))
+        result.add_point("MEM2", n, sum(mems) / len(mems))
+    return result
+
+
+def fig8(single: dict[int, NaradaRunResult]) -> ExperimentResult:
+    """Fig 8: single-broker percentile of RTT for 500-3000 connections."""
+    result = ExperimentResult(
+        "fig8",
+        "Narada single server tests, percentile of RTT",
+        "percentile",
+        "millisecond",
+    )
+    for n, run in sorted(single.items()):
+        if run.oom or n > 3000:
+            continue
+        for pct, ms in percentile_curve(run.rtts):
+            result.add_point(str(n), pct, ms)
+    return result
+
+
+def fig9(dbn: dict[int, NaradaRunResult]) -> ExperimentResult:
+    """Fig 9: DBN percentile of RTT for 2000-4000 connections."""
+    result = ExperimentResult(
+        "fig9",
+        "Narada DBN tests, percentile of RTT",
+        "percentile",
+        "millisecond",
+    )
+    for n, run in sorted(dbn.items()):
+        if run.oom or n > 4000:
+            continue
+        for pct, ms in percentile_curve(run.rtts):
+            result.add_point(str(n), pct, ms)
+    return result

@@ -1,0 +1,779 @@
+"""Experiment registry, sweep caching and the CLI entry point.
+
+Several figures share the same underlying sweeps (Figs 6, 7, 8, 9 all read
+the Narada scaling runs; Figs 11-14 the R-GMA ones), so sweeps are cached
+per (kind, scale, seed) within the process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable, Optional
+
+from repro.cluster.hydra import HYDRA_SPEC
+from repro.core import ExperimentResult
+from repro.core.comparison import MiddlewareMeasurements, table_iii
+from repro.harness import decomposition, narada_experiments, rgma_experiments
+from repro.harness.scale import Scale
+
+_sweep_cache: dict[tuple, Any] = {}
+
+
+def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
+    if key not in _sweep_cache:
+        _sweep_cache[key] = builder()
+    return _sweep_cache[key]
+
+
+def clear_cache() -> None:
+    _sweep_cache.clear()
+
+
+# ------------------------------------------------------------ shared sweeps
+
+def _comparison_runs(scale: Scale, seed: int):
+    return _cached(
+        ("narada_comparison", scale.name, seed),
+        lambda: narada_experiments.run_comparison_tests(scale=scale, seed=seed),
+    )
+
+
+def _narada_single(scale: Scale, seed: int):
+    return _cached(
+        ("narada_single", scale.name, seed),
+        lambda: narada_experiments.run_scaling_sweep(
+            narada_experiments.SINGLE_SWEEP, dbn=False, scale=scale, seed=seed
+        ),
+    )
+
+
+def _narada_dbn(scale: Scale, seed: int):
+    return _cached(
+        ("narada_dbn", scale.name, seed),
+        lambda: narada_experiments.run_scaling_sweep(
+            narada_experiments.DBN_SWEEP, dbn=True, scale=scale, seed=seed
+        ),
+    )
+
+
+def _rgma_single(scale: Scale, seed: int):
+    return _cached(
+        ("rgma_single", scale.name, seed),
+        lambda: rgma_experiments.run_scaling_sweep(
+            rgma_experiments.SINGLE_SWEEP, distributed=False, scale=scale, seed=seed
+        ),
+    )
+
+
+def _rgma_distributed(scale: Scale, seed: int):
+    return _cached(
+        ("rgma_distributed", scale.name, seed),
+        lambda: rgma_experiments.run_scaling_sweep(
+            rgma_experiments.DISTRIBUTED_SWEEP,
+            distributed=True,
+            scale=scale,
+            seed=seed,
+        ),
+    )
+
+
+# ------------------------------------------------------- simple experiments
+
+def _table1(scale: Scale, seed: int) -> ExperimentResult:
+    result = ExperimentResult(
+        "table1", "Hardware specifications and software versions", "", ""
+    )
+    result.table = (
+        ["CPU and memory", "OS and JVM", "Middleware"],
+        [
+            [
+                f"{HYDRA_SPEC.cpu}, {HYDRA_SPEC.memory_bytes // 1024**3}GB",
+                f"{HYDRA_SPEC.os}, {HYDRA_SPEC.jvm}",
+                HYDRA_SPEC.middleware,
+            ]
+        ],
+    )
+    result.note(
+        f"{HYDRA_SPEC.node_count} nodes, "
+        f"{HYDRA_SPEC.lan_bandwidth_bps / 1e6:.0f} Mbps isolated LAN, "
+        "observed transfer rate 7-8 MB/s"
+    )
+    return result
+
+
+def _losses(scale: Scale, seed: int) -> ExperimentResult:
+    runs = _comparison_runs(scale, seed)
+    result = ExperimentResult(
+        "losses", "Message loss rates (§III.E.1 and §III.F)", "case", "loss rate"
+    )
+    rows = []
+    for name in ("UDP", "UDP CLI", "NIO", "TCP", "Triple", "80"):
+        run = runs[name]
+        rows.append([name, run.sent, run.received, f"{run.loss_rate:.4%}"])
+    warm = rgma_experiments.warmup_loss(scale=scale, seed=seed)
+    assert warm.table is not None
+    rows.extend([[f"R-GMA {r[0]}", r[1], r[2], r[3]] for r in warm.table[1]])
+    result.table = (["case", "sent", "received", "loss rate"], rows)
+    result.note(
+        "paper: UDP 0.06%, UDP CLI 0.03%, all TCP-family zero; R-GMA 0.17% "
+        "without warm-up, zero with"
+    )
+    return result
+
+
+def _table3(scale: Scale, seed: int) -> ExperimentResult:
+    comparison = _comparison_runs(scale, seed)
+    narada_single = _narada_single(scale, seed)
+    narada_dbn = _narada_dbn(scale, seed)
+    rgma_single = _rgma_single(scale, seed)
+    rgma_dist = _rgma_distributed(scale, seed)
+
+    def max_ok(sweep, extra_ok=lambda run: True):
+        ok = [n for n, r in sweep.items() if not r.oom and extra_ok(r)]
+        return max(ok) if ok else 0
+
+    not_congested = lambda run: run.mean_rtt_ms < 1000 and run.loss_rate < 0.01
+
+    narada_max_single = max_ok(narada_single)
+    narada_max_dist = max_ok(narada_dbn, not_congested)
+    # Mean RTT ratio over all common connection counts (a single point is
+    # noisy; the paper compares the curves).
+    common_ns = sorted(
+        set(n for n in narada_single if not narada_single[n].oom)
+        & set(n for n in narada_dbn if not narada_dbn[n].oom)
+    )
+    narada_ratio = sum(
+        narada_dbn[n].mean_rtt_ms / narada_single[n].mean_rtt_ms for n in common_ns
+    ) / len(common_ns)
+    common_narada = common_ns[-1]
+    narada_idle_ratio = (
+        min(v.mean_cpu_idle_percent for v in narada_dbn[common_narada].vmstat.values())
+        / max(1e-9, narada_single[common_narada].vmstat["hydra1"].mean_cpu_idle_percent)
+    )
+    narada = MiddlewareMeasurements(
+        name="Narada",
+        rtt_ms_light=comparison["TCP"].mean_rtt_ms,
+        max_connections_single=narada_max_single,
+        max_connections_distributed=max(narada_max_dist, narada_max_single),
+        distributed_rtt_ratio=narada_ratio,
+        distributed_idle_ratio=narada_idle_ratio,
+    )
+
+    common_rgma = max(
+        set(n for n in rgma_single if not rgma_single[n].oom)
+        & set(n for n in rgma_dist if not rgma_dist[n].oom)
+    )
+    rgma_ratio = (
+        rgma_dist[common_rgma].mean_rtt_ms / rgma_single[common_rgma].mean_rtt_ms
+    )
+    rgma_idle_ratio = (
+        min(v.mean_cpu_idle_percent for v in rgma_dist[common_rgma].vmstat.values())
+        / max(1e-9, rgma_single[common_rgma].vmstat["hydra1"].mean_cpu_idle_percent)
+    )
+    rgma = MiddlewareMeasurements(
+        name="R-GMA",
+        rtt_ms_light=rgma_single[min(rgma_single)].mean_rtt_ms,
+        max_connections_single=max_ok(rgma_single),
+        max_connections_distributed=max_ok(rgma_dist),
+        distributed_rtt_ratio=rgma_ratio,
+        distributed_idle_ratio=rgma_idle_ratio,
+    )
+
+    result = ExperimentResult(
+        "table3", "R-GMA and NaradaBrokering comparison", "", "rating"
+    )
+    result.table = table_iii(rgma, narada)
+    result.note(
+        "ratings derived from measured RTT / connection walls / "
+        "distributed-vs-single ratios (repro.core.comparison)"
+    )
+    result.meta["narada"] = narada
+    result.meta["rgma"] = rgma
+    return result
+
+
+# -------------------------------------------------------------- experiments
+
+def _fig3(scale: Scale, seed: int) -> ExperimentResult:
+    return narada_experiments.fig3(_comparison_runs(scale, seed))
+
+
+def _fig4(scale: Scale, seed: int) -> ExperimentResult:
+    return narada_experiments.fig4(_comparison_runs(scale, seed))
+
+
+def _fig6(scale: Scale, seed: int) -> ExperimentResult:
+    return narada_experiments.fig6(_narada_single(scale, seed), _narada_dbn(scale, seed))
+
+
+def _fig7(scale: Scale, seed: int) -> ExperimentResult:
+    return narada_experiments.fig7(_narada_single(scale, seed), _narada_dbn(scale, seed))
+
+
+def _fig8(scale: Scale, seed: int) -> ExperimentResult:
+    return narada_experiments.fig8(_narada_single(scale, seed))
+
+
+def _fig9(scale: Scale, seed: int) -> ExperimentResult:
+    return narada_experiments.fig9(_narada_dbn(scale, seed))
+
+
+def _fig10(scale: Scale, seed: int) -> ExperimentResult:
+    return rgma_experiments.fig10(scale=scale, seed=seed)
+
+
+def _fig11(scale: Scale, seed: int) -> ExperimentResult:
+    return rgma_experiments.fig11(_rgma_single(scale, seed), _rgma_distributed(scale, seed))
+
+
+def _fig12(scale: Scale, seed: int) -> ExperimentResult:
+    return rgma_experiments.fig12(_rgma_single(scale, seed))
+
+
+def _fig13(scale: Scale, seed: int) -> ExperimentResult:
+    return rgma_experiments.fig13(_rgma_single(scale, seed), _rgma_distributed(scale, seed))
+
+
+def _fig14(scale: Scale, seed: int) -> ExperimentResult:
+    return rgma_experiments.fig14(_rgma_distributed(scale, seed))
+
+
+def _fig15(scale: Scale, seed: int) -> ExperimentResult:
+    return decomposition.fig15(scale=scale, seed=seed)
+
+
+def _warmup_loss(scale: Scale, seed: int) -> ExperimentResult:
+    return rgma_experiments.warmup_loss(scale=scale, seed=seed)
+
+
+# ---------------------------------------------------------------- ablations
+
+def _ablation_dbn_routing(scale: Scale, seed: int) -> ExperimentResult:
+    """Broadcast flaw vs subscription-aware routing at a fixed load."""
+    from repro.narada import NaradaConfig
+
+    result = ExperimentResult(
+        "ablation_dbn_routing",
+        "DBN forwarding: v1.1.3 broadcast flaw vs subscription-aware routing",
+        "mode",
+        "millisecond",
+    )
+    rows = []
+    for label, flaw in (("broadcast (v1.1.3)", True), ("routed (fixed)", False)):
+        run = narada_experiments.narada_run(
+            3000,
+            dbn=True,
+            scale=scale,
+            seed=seed,
+            config=NaradaConfig(broadcast_flaw=flaw),
+        )
+        forwards = sum(
+            s["forwarded"] for s in run.broker_stats.values()
+        )
+        hub_idle = run.vmstat["hydra1"].mean_cpu_idle_percent
+        rows.append([label, run.mean_rtt_ms, forwards, f"{hub_idle:.0f}%"])
+        result.add_point(label, 0, run.mean_rtt_ms)
+    result.table = (
+        ["mode", "RTT (ms)", "inter-broker forwards", "hub CPU idle"], rows
+    )
+    result.note(
+        "fixing the routing removes the unnecessary data flow the paper "
+        "diagnosed and recovers DBN performance (paper §V future work)"
+    )
+    return result
+
+
+def _ablation_udp_ack(scale: Scale, seed: int) -> ExperimentResult:
+    """Per-message transport acking is what ruins JMS-over-UDP."""
+    from repro.transport import UdpTransport
+
+    result = ExperimentResult(
+        "ablation_udp_ack",
+        "UDP with and without the JMS acknowledgement protocol",
+        "mode",
+        "millisecond",
+    )
+    rows = []
+    runs = _comparison_runs(scale, seed)
+    acked = runs["UDP"]
+    rows.append(["acked (JMS requires it)", acked.mean_rtt_ms, f"{acked.loss_rate:.3%}"])
+    # Raw datagrams: same loss probability, no ack/retransmit.
+    import repro.harness.narada_experiments as ne
+
+    original = ne._make_transport
+
+    def raw_udp(kind, sim, lan):
+        if kind == "udp":
+            return UdpTransport(
+                sim, lan, loss_probability=0.03, acked=False, rto=0.15, max_retries=0
+            )
+        return original(kind, sim, lan)
+
+    ne._make_transport = raw_udp
+    try:
+        raw = ne.narada_run(
+            narada_experiments.COMPARISON_CONNECTIONS,
+            transport_kind="udp",
+            scale=scale,
+            seed=seed,
+        )
+    finally:
+        ne._make_transport = original
+    rows.append(["raw (no ack)", raw.mean_rtt_ms, f"{raw.loss_rate:.3%}"])
+    result.table = (["mode", "RTT (ms)", "loss rate"], rows)
+    result.note(
+        "without acking, UDP latency matches TCP but loss is unacceptable; "
+        "with acking, loss is small but RTT inflates (paper §III.E.1)"
+    )
+    for row in rows:
+        result.add_point(row[0], 0, row[1])
+    return result
+
+
+def _ablation_rgma_mediator(scale: Scale, seed: int) -> ExperimentResult:
+    """Remove the consumer-side processing cost: PT collapses."""
+    from repro.core import decompose
+    from repro.rgma import RGMAConfig
+
+    result = ExperimentResult(
+        "ablation_rgma_mediator",
+        "R-GMA process time vs consumer per-tuple cost",
+        "consumer_tuple_cpu (ms)",
+        "PT (ms)",
+    )
+    rows = []
+    for label, cfg in (
+        ("gLite 3.0 (modelled)", RGMAConfig()),
+        ("zero-cost mediator", RGMAConfig(consumer_tuple_cpu=0.0, stream_period=0.1)),
+    ):
+        run = rgma_experiments.rgma_run(200, scale=scale, seed=seed, config=cfg)
+        phases = decompose(run.book, since=run.measure_since)
+        rows.append([label, phases.prt_ms, phases.pt_ms, phases.srt_ms])
+        result.add_point(label, 0, phases.pt_ms)
+    result.table = (["config", "PRT (ms)", "PT (ms)", "SRT (ms)"], rows)
+    result.note(
+        "PT dominates R-GMA RTT and is a middleware property, not a network "
+        "one — the paper's Fig 15 conclusion"
+    )
+    return result
+
+
+def _ablation_aggregation(scale: Scale, seed: int) -> ExperimentResult:
+    """Message quantity vs message size (the §IV RMM observation)."""
+    runs = _comparison_runs(scale, seed)
+    tcp, triple = runs["TCP"], runs["Triple"]
+    result = ExperimentResult(
+        "ablation_aggregation",
+        "Message count vs byte volume (same payload rate)",
+        "case",
+        "millisecond",
+    )
+    result.table = (
+        ["case", "msgs (measured window)", "RTT (ms)"],
+        [
+            ["1x payload @ 10 s", tcp.sent, tcp.mean_rtt_ms],
+            ["3x payload @ 30 s (same bytes/s)", triple.sent, triple.mean_rtt_ms],
+        ],
+    )
+    per_msg_penalty = triple.mean_rtt_ms - tcp.mean_rtt_ms
+    result.note(
+        "tripling payload while cutting message rate to 1/3 changes RTT by "
+        f"only {per_msg_penalty:+.1f} ms: per-message overhead dominates "
+        "per-byte cost, so aggregation (fewer, bigger messages) raises "
+        "throughput — the RMM result the paper cites in §IV"
+    )
+    return result
+
+
+def _ablation_rgma_https(scale: Scale, seed: int) -> ExperimentResult:
+    """The encryption overhead the paper avoided (§III.F: 'We did not use
+    HTTPS because of the encryption overhead').
+
+    At the paper's message sizes the dominant TLS cost is the *handshake*
+    (asymmetric crypto on a PIII), paid once per producer connection —
+    exactly the resource-location-deadline concern §V raises.  Steady-state
+    RTT moves far less, so the assertion-bearing measurement is producer
+    setup time, with a bulk-transfer crypto throughput probe as the second
+    axis; RTT is reported as context.
+    """
+    from repro.cluster import HydraCluster
+    from repro.rgma import RGMADeployment
+    from repro.sim import Simulator
+    from repro.transport.tls import TlsTransport
+
+    rows = []
+    result = ExperimentResult(
+        "ablation_rgma_https",
+        "R-GMA over HTTP vs HTTPS",
+        "protocol",
+        "millisecond",
+    )
+    for label, https in (("HTTP (paper's choice)", False), ("HTTPS", True)):
+        # Producer setup probe: 50 timed create() calls on a fresh server.
+        sim = Simulator(seed=seed)
+        cluster = HydraCluster(sim)
+        transport = TlsTransport(sim, cluster.lan) if https else None
+        deployment = RGMADeployment.single_server(
+            sim, cluster, transport=transport
+        )
+        setup_times = []
+
+        def probe():
+            for i in range(50):
+                client = deployment.producer_client(cluster.node("hydra5"), 0)
+                t0 = sim.now
+                yield from client.create("gridmon")
+                setup_times.append(sim.now - t0)
+
+        sim.run_process(probe())
+        setup_ms = sum(setup_times) / len(setup_times) * 1e3
+        server_busy = cluster.node("hydra1").cpu_busy_time
+
+        # Steady-state context: the fleet experiment.
+        run = rgma_experiments.rgma_run(
+            200, use_https=https, scale=scale, seed=seed
+        )
+        rows.append([label, setup_ms, server_busy, run.mean_rtt_ms])
+        result.add_point(label, 0, setup_ms)
+    result.table = (
+        ["protocol", "producer setup (ms)", "server CPU for 50 setups (s)",
+         "steady-state RTT (ms)"],
+        rows,
+    )
+    result.note(
+        "the TLS handshake multiplies producer setup time and burns server "
+        "CPU per connection — the §III.F overhead, and a direct instance of "
+        "§V's 'locate resources within a predefined time limit' concern"
+    )
+    return result
+
+
+def _ablation_web_services(scale: Scale, seed: int) -> ExperimentResult:
+    """§III.D made measurable: SOAP publishing vs native JMS."""
+    import numpy as np
+
+    from repro.cluster import HydraCluster
+    from repro.jms.destination import Topic
+    from repro.narada import Broker, narada_connection_factory
+    from repro.powergrid.generator import PowerGenerator
+    from repro.powergrid.payload import narada_map_message
+    from repro.sim import Simulator
+    from repro.transport import TcpTransport
+    from repro.webservices import SoapCodec, WsPublishProxy, WsPublisherClient
+
+    topic = Topic("power.monitoring")
+    sim = Simulator(seed=seed)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    broker = Broker(sim, cluster.node("hydra1"), "b")
+    broker.serve(tcp, 5045)
+
+    # End-to-end observer: when does each reading reach a subscriber?
+    deliveries: dict[str, list[float]] = {"ws": [], "native": []}
+
+    def subscribe():
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node("hydra3"), "hydra1", 5045
+        )
+        conn = yield from factory.create_connection()
+        conn.start()
+        session = conn.create_session()
+        yield from session.create_subscriber(
+            topic,
+            listener=lambda m: deliveries[m._path].append(sim.now - m._t0),
+        )
+
+    sim.run_process(subscribe())
+
+    def build_proxy():
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node("hydra2"), "hydra1", 5045
+        )
+        conn = yield from factory.create_connection()
+        conn.start()
+        return WsPublishProxy(sim, cluster.node("hydra2"), tcp, 8099, conn, topic)
+
+    sim.run_process(build_proxy())
+    gen = PowerGenerator(1, np.random.default_rng(seed))
+    n = 50
+
+    def stamped(path: str):
+        message = narada_map_message(gen.sample(sim.now))
+        message._path = path
+        message._t0 = sim.now
+        return message
+
+    def ws_publish():
+        client = WsPublisherClient(
+            sim, tcp, cluster.node("hydra4"), "hydra2", 8099
+        )
+        times = []
+        for _ in range(n):
+            latency = yield from client.publish(stamped("ws"))
+            times.append(latency)
+            yield sim.timeout(0.05)
+        return times
+
+    ws_times = sim.run_process(ws_publish())
+
+    def native_publish():
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node("hydra4"), "hydra1", 5045
+        )
+        conn = yield from factory.create_connection()
+        conn.start()
+        pub = conn.create_session().create_publisher(topic)
+        times = []
+        for _ in range(n):
+            message = stamped("native")
+            t0 = sim.now
+            yield from pub.publish(message)
+            times.append(sim.now - t0)
+            yield sim.timeout(0.05)
+        return times
+
+    native_times = sim.run_process(native_publish())
+    sim.run(until=sim.now + 2.0)
+    sample = narada_map_message(gen.sample(sim.now))
+    sample.destination = topic
+    expansion = SoapCodec().expansion_factor(sample)
+
+    result = ExperimentResult(
+        "ablation_web_services",
+        "Why not Web Services (§III.D): SOAP proxy vs native JMS publish",
+        "path",
+        "millisecond",
+    )
+    ws_ms = sum(ws_times) / n * 1e3
+    native_ms = sum(native_times) / n * 1e3
+    ws_e2e = sum(deliveries["ws"]) / max(1, len(deliveries["ws"])) * 1e3
+    native_e2e = (
+        sum(deliveries["native"]) / max(1, len(deliveries["native"])) * 1e3
+    )
+    result.table = (
+        ["path", "publish call (ms)", "end-to-end delivery (ms)"],
+        [
+            ["SOAP over HTTP via proxy", ws_ms, ws_e2e],
+            ["native JMS", native_ms, native_e2e],
+        ],
+    )
+    result.add_point("SOAP", 0, ws_e2e)
+    result.add_point("native", 0, native_e2e)
+    result.note(
+        f"XML expands the monitoring payload {expansion:.1f}x; end-to-end "
+        f"the SOAP path costs {ws_e2e / native_e2e:.1f}x native (publish "
+        f"call: {ws_ms / native_ms:.0f}x, since SOAP waits a full HTTP "
+        "round trip) — 'Web Services are known to be slow and not suitable "
+        "for high performance scientific computing' (§III.D)"
+    )
+    return result
+
+
+def _ablation_rgma_legacy_api(scale: Scale, seed: int) -> ExperimentResult:
+    """The §III.F.3 discrepancy: the old Stream Producer / Archiver API
+    measured in [11] versus the new Primary Producer / Consumer pipeline."""
+    import numpy as np
+
+    from repro.cluster import HydraCluster
+    from repro.powergrid.payload import rgma_row
+    from repro.powergrid.generator import PowerGenerator
+    from repro.rgma import RGMADeployment
+    from repro.rgma.stream_producer import LegacyDeployment, StreamProducerClient
+    from repro.sim import Simulator
+
+    n_producers = 100
+    # -- legacy path --------------------------------------------------------
+    sim = Simulator(seed=seed)
+    cluster = HydraCluster(sim)
+    deployment = RGMADeployment.single_server(sim, cluster)
+    legacy = LegacyDeployment(deployment)
+    from repro.transport.http import HttpClient
+
+    http = HttpClient(
+        sim, deployment.transport, cluster.node("hydra7"), "hydra1", 8080
+    )
+
+    def mk_archiver():
+        response = yield from http.request(
+            "/archiver/create", {"table": "gridmon", "where": None}, 140
+        )
+        return response.body["resource_id"]
+
+    archiver_id = sim.run_process(mk_archiver())
+    legacy_latencies: list[float] = []
+    legacy.archiver_callback(
+        archiver_id,
+        lambda t: legacy_latencies.append(sim.now - t.meta["t_before_send"]),
+    )
+
+    def legacy_generator(i: int):
+        client = StreamProducerClient(
+            sim, deployment.transport, cluster.node("hydra5"), "hydra1", 8080
+        )
+        yield from client.create("gridmon")
+        model = PowerGenerator(i, sim.rng.stream(f"lg.{i}"))
+        yield sim.timeout(sim.rng.uniform("lg.warm", *scale.warmup))
+        stop = sim.now + min(scale.duration, 60.0)
+        while sim.now < stop:
+            yield from client.insert(rgma_row(model.sample(sim.now)))
+            yield sim.timeout(10.0)
+
+    for i in range(n_producers):
+        sim.process(legacy_generator(i))
+    sim.run(until=scale.warmup[1] + min(scale.duration, 60.0) + 20.0)
+
+    # -- new API at the same load -------------------------------------------
+    new_run = rgma_experiments.rgma_run(n_producers, scale=scale, seed=seed)
+
+    result = ExperimentResult(
+        "ablation_rgma_legacy_api",
+        "R-GMA old Stream Producer/Archiver API vs new PP/Consumer pipeline",
+        "API generation",
+        "millisecond",
+    )
+    legacy_ms = float(np.mean(legacy_latencies) * 1e3)
+    result.table = (
+        ["API", "mean RTT (ms)", "tuples"],
+        [
+            ["Stream Producer + Archiver (old, [11])", legacy_ms,
+             len(legacy_latencies)],
+            ["Primary Producer + Consumer (gLite 3.0)", new_run.mean_rtt_ms,
+             new_run.received],
+        ],
+    )
+    result.add_point("old API", 0, legacy_ms)
+    result.add_point("new API", 0, new_run.mean_rtt_ms)
+    result.note(
+        "the old API streams tuples directly to archivers (no mediated "
+        "consumer, no batch period, no poll loop) — reproducing why [11] "
+        "'achieved high performance' where the paper's newer version did not"
+    )
+    return result
+
+
+def _ablation_clock_skew(scale: Scale, seed: int) -> ExperimentResult:
+    """Why the paper measured same-node round trips.
+
+    "Data were received by the node where they were sent and there was no
+    time synchronization problem" (§III.E.2); the distributed R-GMA test
+    instead synchronised clocks with NTP (§III.F.1).  This ablation shows
+    what cross-node timestamps would do to millisecond-scale RTTs under
+    unsynchronised clocks vs NTP-disciplined ones.
+    """
+    import numpy as np
+
+    run = narada_experiments.narada_run(400, scale=scale, seed=seed)
+    true_rtts = run.rtts  # seconds; same-clock ground truth
+    rng = np.random.default_rng(seed)
+
+    result = ExperimentResult(
+        "ablation_clock_skew",
+        "Cross-node timestamping error vs clock discipline",
+        "clock discipline",
+        "millisecond",
+    )
+    rows: list[list] = [
+        ["same node (paper's Narada method)", float(true_rtts.mean() * 1e3),
+         0.0, "0%"],
+    ]
+    for label, skew_s in (
+        ("NTP-synchronised (paper's R-GMA method)", 0.001),
+        ("unsynchronised (drifted ~50 ms)", 0.050),
+    ):
+        # Per-(sender,receiver) pair offset, fixed for a run.
+        offsets = rng.uniform(-skew_s, skew_s, size=8)
+        pair = rng.integers(0, 8, size=true_rtts.size)
+        apparent = true_rtts + offsets[pair]
+        negative = float((apparent < 0).mean())
+        rows.append(
+            [label, float(apparent.mean() * 1e3),
+             float(np.abs(apparent - true_rtts).mean() * 1e3),
+             f"{negative:.0%}"]
+        )
+    result.table = (
+        ["clocking", "apparent mean RTT (ms)", "mean |error| (ms)",
+         "negative RTTs"],
+        rows,
+    )
+    result.note(
+        "a ~50 ms drift swamps Narada's millisecond RTTs entirely (many "
+        "measurements go negative); NTP's ~1 ms residual is tolerable for "
+        "R-GMA's second-scale RTTs but not for Narada's — hence the paper's "
+        "same-node measurement design"
+    )
+    return result
+
+
+EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
+    "table1": _table1,
+    "table2_fig3": _fig3,
+    "fig4": _fig4,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "losses": _losses,
+    "rgma_warmup_loss": _warmup_loss,
+    "table3": _table3,
+    "ablation_dbn_routing": _ablation_dbn_routing,
+    "ablation_udp_ack": _ablation_udp_ack,
+    "ablation_rgma_mediator": _ablation_rgma_mediator,
+    "ablation_aggregation": _ablation_aggregation,
+    "ablation_rgma_https": _ablation_rgma_https,
+    "ablation_web_services": _ablation_web_services,
+    "ablation_rgma_legacy_api": _ablation_rgma_legacy_api,
+    "ablation_clock_skew": _ablation_clock_skew,
+}
+
+EXPERIMENT_IDS = tuple(EXPERIMENTS)
+
+
+def run(
+    experiment_id: str,
+    scale: Optional[Scale | str] = None,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Run one experiment by id; returns its :class:`ExperimentResult`."""
+    if isinstance(scale, str):
+        scale = Scale.named(scale)
+    scale = scale or Scale.from_env()
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}"
+        ) from None
+    return fn(scale, seed)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate a table/figure from the paper."
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        help=f"experiment id(s): {', '.join(EXPERIMENT_IDS)} or 'all'",
+    )
+    parser.add_argument("--scale", default=None, choices=["bench", "smoke", "full"])
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    ids = list(args.experiment)
+    if ids == ["all"]:
+        ids = list(EXPERIMENT_IDS)
+    for experiment_id in ids:
+        result = run(experiment_id, scale=args.scale, seed=args.seed)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""JMS connections and connection factories."""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.jms.errors import IllegalStateException
+from repro.jms.session import AckMode, Provider, Session
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+_client_ids = count(1)
+
+
+class Connection:
+    """An open link to the provider; sessions hang off it.
+
+    JMS semantics preserved: message delivery to consumers is inhibited
+    until :meth:`start` is called (deliveries arriving before then are
+    buffered), and :meth:`close` tears down all sessions.
+    """
+
+    def __init__(self, provider: Provider, client_id: Optional[str] = None):
+        self.provider = provider
+        self.client_id = client_id or f"conn{next(_client_ids)}"
+        self.started = False
+        self.closed = False
+        self.sessions: list[Session] = []
+        self._pre_start_buffer: list[tuple[Any, Any, Any]] = []
+        self._msg_seq = 0
+
+    def next_message_id(self) -> str:
+        self._msg_seq += 1
+        return f"ID:{self.client_id}-{self._msg_seq}"
+
+    def create_session(
+        self, transacted: bool = False, ack_mode: int = AckMode.AUTO_ACKNOWLEDGE
+    ) -> Session:
+        if self.closed:
+            raise IllegalStateException("connection is closed")
+        session = Session(self, transacted, ack_mode)
+        self.sessions.append(session)
+        return session
+
+    def start(self) -> None:
+        """Enable delivery; flush anything that arrived while stopped."""
+        if self.closed:
+            raise IllegalStateException("connection is closed")
+        self.started = True
+        buffered, self._pre_start_buffer = self._pre_start_buffer, []
+        for session, consumer, message in buffered:
+            session._on_delivery(consumer, message)
+
+    def stop(self) -> None:
+        self.started = False
+
+    def _route_delivery(self, session: Session, consumer: Any, message: Any) -> None:
+        """Provider entry point honouring the started/stopped state."""
+        if self.closed:
+            return
+        if not self.started:
+            self._pre_start_buffer.append((session, consumer, message))
+            return
+        session._on_delivery(consumer, message)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for session in self.sessions:
+            session.close()
+        self.provider.close()
+
+
+class ConnectionFactory:
+    """Creates connections from a provider factory.
+
+    ``provider_factory()`` must be a generator performing the network-level
+    connect and returning a :class:`~repro.jms.session.Provider`.
+    """
+
+    def __init__(self, provider_factory: Callable[[], Generator[Any, Any, Provider]]):
+        self._provider_factory = provider_factory
+
+    def create_connection(
+        self, client_id: Optional[str] = None
+    ) -> Generator[Any, Any, Connection]:
+        provider = yield from self._provider_factory()
+        return Connection(provider, client_id)

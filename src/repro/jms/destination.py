@@ -1,0 +1,53 @@
+"""JMS destinations.
+
+"Data are discovered by destination.  There are two kinds of destinations:
+queue and topic" (paper §II.B).  Topics fan a message out to every matching
+subscriber (publish/subscribe); queues hand each message to exactly one
+receiver (point-to-point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+_temp_ids = count(1)
+
+
+@dataclass(frozen=True)
+class Destination:
+    """Base class: a named delivery target."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("destination name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Topic(Destination):
+    """Publish/subscribe destination: all matching subscribers receive."""
+
+
+@dataclass(frozen=True)
+class Queue(Destination):
+    """Point-to-point destination: exactly one receiver per message."""
+
+
+@dataclass(frozen=True)
+class TemporaryTopic(Topic):
+    """Connection-scoped topic (e.g. for reply-to patterns)."""
+
+    @staticmethod
+    def create() -> "TemporaryTopic":
+        return TemporaryTopic(name=f"$TMP.TOPIC.{next(_temp_ids)}")
+
+
+@dataclass(frozen=True)
+class TemporaryQueue(Queue):
+    """Connection-scoped queue."""
+
+    @staticmethod
+    def create() -> "TemporaryQueue":
+        return TemporaryQueue(name=f"$TMP.QUEUE.{next(_temp_ids)}")

@@ -1,0 +1,25 @@
+"""JMS exception hierarchy (javax.jms.* equivalents)."""
+
+
+class JMSException(Exception):
+    """Root of all JMS API failures."""
+
+
+class InvalidSelectorException(JMSException):
+    """The message selector string does not parse or type-check."""
+
+
+class InvalidDestinationException(JMSException):
+    """Operation on a destination the provider does not recognise."""
+
+
+class MessageFormatException(JMSException):
+    """Type mismatch reading or writing message fields/properties."""
+
+
+class IllegalStateException(JMSException):
+    """Operation invalid for the object's current state (e.g. closed)."""
+
+
+class MessageNotWriteableException(MessageFormatException):
+    """Attempt to modify a message in read-only mode."""

@@ -1,0 +1,79 @@
+"""Message producers and topic publishers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.jms.destination import Destination, Topic
+from repro.jms.errors import IllegalStateException, InvalidDestinationException
+from repro.jms.message import DeliveryMode, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jms.session import Session
+
+
+class MessageProducer:
+    """Sends messages to a destination (or per-send destinations)."""
+
+    def __init__(self, session: "Session", destination: Optional[Destination]):
+        self.session = session
+        self.destination = destination
+        self.closed = False
+        # Per-producer defaults (JMS producer knobs).
+        self.delivery_mode = DeliveryMode.NON_PERSISTENT
+        self.priority = 4
+        self.time_to_live = 0.0  # seconds; 0 = no expiration
+        self.disable_message_timestamp = False
+        self.messages_sent = 0
+
+    def send(
+        self,
+        message: Message,
+        destination: Optional[Destination] = None,
+        delivery_mode: Optional[int] = None,
+        priority: Optional[int] = None,
+        time_to_live: Optional[float] = None,
+    ) -> Generator[Any, Any, None]:
+        """Stamp headers and hand the message to the session/provider.
+
+        A generator: completing the send is a network operation whose
+        duration is the paper's Publishing Response Time (PRT, §III.F.2).
+        """
+        if self.closed:
+            raise IllegalStateException("producer is closed")
+        dest = destination or self.destination
+        if dest is None:
+            raise InvalidDestinationException("no destination for send")
+        sim = self.session.sim
+        message.destination = dest
+        message.message_id = self.session.next_message_id()
+        if not self.disable_message_timestamp:
+            message.timestamp = sim.now
+        message.delivery_mode = (
+            delivery_mode if delivery_mode is not None else self.delivery_mode
+        )
+        message.priority = priority if priority is not None else self.priority
+        ttl = time_to_live if time_to_live is not None else self.time_to_live
+        message.expiration = sim.now + ttl if ttl > 0 else 0.0
+        yield from self.session._send(message)
+        self.messages_sent += 1
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TopicPublisher(MessageProducer):
+    """javax.jms.TopicPublisher: a producer fixed to a topic."""
+
+    def __init__(self, session: "Session", topic: Topic):
+        if not isinstance(topic, Topic):
+            raise InvalidDestinationException(f"{topic!r} is not a Topic")
+        super().__init__(session, topic)
+
+    @property
+    def topic(self) -> Topic:
+        assert isinstance(self.destination, Topic)
+        return self.destination
+
+    def publish(self, message: Message, **kwargs: Any) -> Generator[Any, Any, None]:
+        yield from self.send(message, **kwargs)

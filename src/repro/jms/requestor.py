@@ -1,0 +1,83 @@
+"""JMS request/reply: TopicRequestor over temporary destinations.
+
+The standard JMS pattern for the control-plane side of monitoring ("if a
+power generator has been switched on but does not respond for a long time
+then it will be considered to be malfunctioning", §I): send a command,
+correlate the reply on a temporary topic, time out if nothing comes back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.jms.destination import TemporaryTopic, Topic
+from repro.jms.errors import IllegalStateException
+from repro.jms.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jms.session import Session
+
+
+class TopicRequestor:
+    """Synchronous request/reply over a topic.
+
+    Creates a per-requestor temporary reply topic; each ``request`` stamps
+    ``reply_to`` + a correlation id, publishes, and waits for the matching
+    reply (or times out, returning None — the malfunction signal).
+    """
+
+    def __init__(self, session: "Session", topic: Topic):
+        self.session = session
+        self.topic = topic
+        self.reply_topic = TemporaryTopic.create()
+        self._publisher = session.create_publisher(topic)
+        self._consumer = None  # created lazily (subscription is a network op)
+        self._seq = 0
+
+    def _ensure_consumer(self) -> Generator[Any, Any, None]:
+        if self._consumer is None:
+            self._consumer = yield from self.session.create_consumer(
+                self.reply_topic
+            )
+
+    def request(
+        self, message: Message, timeout: Optional[float] = None
+    ) -> Generator[Any, Any, Optional[Message]]:
+        """Publish ``message`` and wait for its correlated reply."""
+        if self.session.closed:
+            raise IllegalStateException("session is closed")
+        yield from self._ensure_consumer()
+        self._seq += 1
+        correlation = f"{self.reply_topic.name}#{self._seq}"
+        message.reply_to = self.reply_topic
+        message.correlation_id = correlation
+        yield from self._publisher.publish(message)
+        deadline = (
+            None if timeout is None else self.session.sim.now + timeout
+        )
+        while True:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - self.session.sim.now)
+            )
+            reply = yield from self._consumer.receive(timeout=remaining)
+            if reply is None:
+                return None  # timed out: the responder is "malfunctioning"
+            if reply.correlation_id == correlation:
+                return reply
+            # A stale reply from an earlier timed-out request: discard.
+
+    def close(self) -> Generator[Any, Any, None]:
+        if self._consumer is not None:
+            yield from self._consumer.close()
+
+
+def reply_to(
+    session: "Session", request: Message, reply: Message
+) -> Generator[Any, Any, None]:
+    """Responder-side helper: send ``reply`` to the request's reply topic."""
+    if request.reply_to is None:
+        raise IllegalStateException("request carries no reply_to")
+    reply.correlation_id = request.correlation_id
+    producer = session.create_producer(request.reply_to)
+    yield from producer.send(reply)
+    producer.close()

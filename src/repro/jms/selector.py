@@ -1,0 +1,446 @@
+"""JMS message selectors: the SQL-92 conditional expression subset.
+
+The paper's subscribers attach "a simple JMS selector (e.g. 'id<10000')"
+(§III.E) — not to filter anything out, but because real deployments always
+have one, and its evaluation is a real per-message broker cost.  This module
+implements the full JMS 1.1 selector language:
+
+* boolean connectives ``AND`` / ``OR`` / ``NOT`` with SQL three-valued logic,
+* comparisons ``=  <>  <  <=  >  >=`` (ordering only between numbers),
+* arithmetic ``+  -  *  /`` with unary sign,
+* ``BETWEEN``, ``IN``, ``LIKE`` (with ``ESCAPE``), ``IS [NOT] NULL``,
+* integer / float / string / boolean literals, identifiers over message
+  properties and ``JMS*`` headers.
+
+Selectors compile once into nested Python closures; ``matches(message)`` is
+then a plain call — the hot path the broker runs for every (message,
+subscription) pair.  SQL UNKNOWN is modelled as ``None``; a selector matches
+only when it evaluates to exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from repro.jms.errors import InvalidSelectorException
+
+# --------------------------------------------------------------------- lexer
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$.]*)
+  | (?P<op><>|<=|>=|[=<>+\-*/(),])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL",
+    "TRUE", "FALSE",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}:{self.value!r}"
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise InvalidSelectorException(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        raw = m.group()
+        if kind == "float":
+            tokens.append(_Token("number", float(raw)))
+        elif kind == "int":
+            tokens.append(_Token("number", int(raw)))
+        elif kind == "string":
+            tokens.append(_Token("string", raw[1:-1].replace("''", "'")))
+        elif kind == "ident":
+            upper = raw.upper()
+            if upper in _KEYWORDS:
+                tokens.append(_Token(upper, upper))
+            else:
+                tokens.append(_Token("ident", raw))
+        else:
+            tokens.append(_Token(raw, raw))
+    tokens.append(_Token("eof", None))
+    return tokens
+
+
+# --------------------------------------------------- three-valued primitives
+
+Evaluator = Callable[[Any], Any]  # message -> True | False | None | number | str
+
+
+def _bool3(v: Any) -> Any:
+    """Coerce a value to SQL three-valued boolean: non-booleans are UNKNOWN."""
+    if v is None or isinstance(v, bool):
+        return v
+    return None
+
+
+def _and3(a: Any, b: Any) -> Any:
+    if a is False or b is False:
+        return False
+    if a is True and b is True:
+        return True
+    return None
+
+
+def _or3(a: Any, b: Any) -> Any:
+    if a is True or b is True:
+        return True
+    if a is False and b is False:
+        return False
+    return None
+
+
+def _not3(a: Any) -> Any:
+    if a is None:
+        return None
+    return not a
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+# -------------------------------------------------------------------- parser
+
+class _Parser:
+    """Recursive-descent parser that emits evaluator closures directly."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _lex(text)
+        self.pos = 0
+        #: Identifiers referenced by the selector (for introspection).
+        self.identifiers: set[str] = set()
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str) -> Optional[_Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise InvalidSelectorException(
+                f"expected {kind} but found {tok.value!r} in {self.text!r}"
+            )
+        return tok
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> Evaluator:
+        expr = self.parse_or()
+        if self.peek().kind != "eof":
+            raise InvalidSelectorException(
+                f"trailing tokens after expression in {self.text!r}"
+            )
+        return expr
+
+    def parse_or(self) -> Evaluator:
+        left = self.parse_and()
+        while self.accept("OR"):
+            right = self.parse_and()
+            left = (lambda l, r: lambda m: _or3(_bool3(l(m)), _bool3(r(m))))(
+                left, right
+            )
+        return left
+
+    def parse_and(self) -> Evaluator:
+        left = self.parse_not()
+        while self.accept("AND"):
+            right = self.parse_not()
+            left = (lambda l, r: lambda m: _and3(_bool3(l(m)), _bool3(r(m))))(
+                left, right
+            )
+        return left
+
+    def parse_not(self) -> Evaluator:
+        if self.accept("NOT"):
+            inner = self.parse_not()
+            return lambda m: _not3(_bool3(inner(m)))
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Evaluator:
+        """An arithmetic expression optionally extended by a condition."""
+        left = self.parse_sum()
+        tok = self.peek()
+
+        if tok.kind in ("=", "<>", "<", "<=", ">", ">="):
+            op = self.next().kind
+            right = self.parse_sum()
+            return self._comparison(op, left, right)
+
+        negate = False
+        if tok.kind == "NOT":
+            # NOT here belongs to BETWEEN / IN / LIKE.
+            self.next()
+            negate = True
+            tok = self.peek()
+            if tok.kind not in ("BETWEEN", "IN", "LIKE"):
+                raise InvalidSelectorException(
+                    f"expected BETWEEN/IN/LIKE after NOT in {self.text!r}"
+                )
+
+        if self.accept("BETWEEN"):
+            low = self.parse_sum()
+            self.expect("AND")
+            high = self.parse_sum()
+
+            def between(m: Any) -> Any:
+                v, lo, hi = left(m), low(m), high(m)
+                if not (_is_number(v) and _is_number(lo) and _is_number(hi)):
+                    return None
+                return lo <= v <= hi
+
+            return (lambda m: _not3(between(m))) if negate else between
+
+        if self.accept("IN"):
+            self.expect("(")
+            values = {self.expect("string").value}
+            while self.accept(","):
+                values.add(self.expect("string").value)
+            self.expect(")")
+
+            def isin(m: Any) -> Any:
+                v = left(m)
+                if v is None:
+                    return None
+                if not isinstance(v, str):
+                    return None
+                return v in values
+
+            return (lambda m: _not3(isin(m))) if negate else isin
+
+        if self.accept("LIKE"):
+            pattern = self.expect("string").value
+            escape = None
+            if self.accept("ESCAPE"):
+                esc = self.expect("string").value
+                if len(esc) != 1:
+                    raise InvalidSelectorException(
+                        "ESCAPE must be a single character"
+                    )
+                escape = esc
+            regex = _like_regex(pattern, escape)
+
+            def like(m: Any) -> Any:
+                v = left(m)
+                if v is None:
+                    return None
+                if not isinstance(v, str):
+                    return None
+                return regex.fullmatch(v) is not None
+
+            return (lambda m: _not3(like(m))) if negate else like
+
+        if self.accept("IS"):
+            isnot = bool(self.accept("NOT"))
+            self.expect("NULL")
+            if isnot:
+                return lambda m: left(m) is not None
+            return lambda m: left(m) is None
+
+        # No condition follows: the raw expression flows upward.  Boolean
+        # coercion happens at the connective / matches() layer, so that a
+        # parenthesised arithmetic subexpression like ``(1 + 2) * 3`` keeps
+        # its numeric value.
+        return left
+
+    @staticmethod
+    def _comparison(op: str, left: Evaluator, right: Evaluator) -> Evaluator:
+        def compare(m: Any) -> Any:
+            a, b = left(m), right(m)
+            if a is None or b is None:
+                return None
+            a_num, b_num = _is_number(a), _is_number(b)
+            if op in ("=", "<>"):
+                if a_num and b_num:
+                    eq = a == b
+                elif isinstance(a, bool) and isinstance(b, bool):
+                    eq = a == b
+                elif isinstance(a, str) and isinstance(b, str):
+                    eq = a == b
+                else:
+                    return None  # incomparable types -> unknown
+                return eq if op == "=" else not eq
+            # Ordering comparisons: numbers only (JMS spec).
+            if not (a_num and b_num):
+                return None
+            if op == "<":
+                return a < b
+            if op == "<=":
+                return a <= b
+            if op == ">":
+                return a > b
+            return a >= b
+
+        return compare
+
+    # -- arithmetic ---------------------------------------------------------
+    def parse_sum(self) -> Evaluator:
+        left = self.parse_product()
+        while self.peek().kind in ("+", "-"):
+            op = self.next().kind
+            right = self.parse_product()
+            left = self._arith(op, left, right)
+        return left
+
+    def parse_product(self) -> Evaluator:
+        left = self.parse_unary()
+        while self.peek().kind in ("*", "/"):
+            op = self.next().kind
+            right = self.parse_unary()
+            left = self._arith(op, left, right)
+        return left
+
+    @staticmethod
+    def _arith(op: str, left: Evaluator, right: Evaluator) -> Evaluator:
+        def apply(m: Any) -> Any:
+            a, b = left(m), right(m)
+            if not (_is_number(a) and _is_number(b)):
+                return None
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if b == 0:
+                return None  # SQL division by zero -> unknown
+            result = a / b
+            # Integer division stays integral, like Java int arithmetic.
+            if isinstance(a, int) and isinstance(b, int):
+                return int(result) if result >= 0 else -int(-result)
+            return result
+
+        return apply
+
+    def parse_unary(self) -> Evaluator:
+        if self.accept("-"):
+            inner = self.parse_unary()
+
+            def negate(m: Any) -> Any:
+                v = inner(m)
+                return -v if _is_number(v) else None
+
+            return negate
+        if self.accept("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Evaluator:
+        tok = self.next()
+        if tok.kind == "number":
+            value = tok.value
+            return lambda m: value
+        if tok.kind == "string":
+            value = tok.value
+            return lambda m: value
+        if tok.kind == "TRUE":
+            return lambda m: True
+        if tok.kind == "FALSE":
+            return lambda m: False
+        if tok.kind == "ident":
+            name = tok.value
+            self.identifiers.add(name)
+            return lambda m: m.selector_value(name)
+        if tok.kind == "(":
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        raise InvalidSelectorException(
+            f"unexpected token {tok.value!r} in {self.text!r}"
+        )
+
+
+def _like_regex(pattern: str, escape: Optional[str]) -> re.Pattern:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    out: list[str] = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if escape is not None and ch == escape:
+            i += 1
+            if i >= len(pattern):
+                raise InvalidSelectorException("dangling ESCAPE character")
+            out.append(re.escape(pattern[i]))
+        elif ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("".join(out), re.DOTALL)
+
+
+# ----------------------------------------------------------------- public API
+
+class Selector:
+    """A compiled message selector.
+
+    >>> sel = Selector("id < 10000 AND site IN ('uk', 'fr')")
+    >>> sel.matches(msg)
+    """
+
+    def __init__(self, text: str):
+        self.text = text.strip()
+        if not self.text:
+            raise InvalidSelectorException("empty selector")
+        parser = _Parser(self.text)
+        self._eval = parser.parse()
+        self.identifiers = frozenset(parser.identifiers)
+
+    def matches(self, message: Any) -> bool:
+        """True iff the selector evaluates to TRUE (not FALSE, not UNKNOWN)."""
+        return _bool3(self._eval(message)) is True
+
+    def evaluate(self, message: Any) -> Any:
+        """Three-valued result (True / False / None)."""
+        return _bool3(self._eval(message))
+
+    def __str__(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Selector({self.text!r})"
+
+
+def parse_selector(text: Optional[str]) -> Optional[Selector]:
+    """None/blank → None (match everything); otherwise a compiled Selector."""
+    if text is None or not text.strip():
+        return None
+    return Selector(text)

@@ -1,0 +1,38 @@
+"""A NaradaBrokering-like distributed messaging broker.
+
+"NaradaBrokering is an open source, distributed messaging infrastructure.
+It is fully compliant with JMS ... Several brokers can form a Broker Network
+Map (BNM).  A specialized node called Broker Discovery Node (BDN) can
+discover new brokers.  NaradaBrokering has a very efficient algorithm to
+find a shortest route to send the events to the destination in a BNM"
+(paper §II.B).
+
+This package implements:
+
+* :mod:`repro.narada.broker` — a single broker: subscription matching,
+  thread-per-connection (TCP) or selector (NIO) serving, JMS ack handling;
+* :mod:`repro.narada.client` — the client runtime implementing the
+  :class:`repro.jms.session.Provider` protocol over any transport;
+* :mod:`repro.narada.routing` — shortest-path event routing over the BNM;
+* :mod:`repro.narada.broker_network` — the BNM + Broker Discovery Node,
+  including the v1.1.3 *broadcast deficiency* the paper diagnosed
+  ("data were broadcast and not diverged to different routes", §III.E.2);
+* :mod:`repro.narada.config` — every calibration constant in one place.
+"""
+
+from repro.narada.broker import Broker, BrokerStats
+from repro.narada.broker_network import BrokerDiscoveryNode, BrokerNetwork
+from repro.narada.client import NaradaProvider, narada_connection_factory
+from repro.narada.config import NaradaConfig
+from repro.narada.routing import shortest_paths
+
+__all__ = [
+    "Broker",
+    "BrokerDiscoveryNode",
+    "BrokerNetwork",
+    "BrokerStats",
+    "NaradaConfig",
+    "NaradaProvider",
+    "narada_connection_factory",
+    "shortest_paths",
+]

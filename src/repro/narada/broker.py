@@ -1,0 +1,433 @@
+"""A single Narada broker.
+
+The broker runs inside a modelled JVM on one cluster node.  Each client
+connection is served by a dedicated JVM thread (blocking TCP / UDP) or by a
+shared selector thread (NIO).  Per-message work — protocol decode, topic
+lookup, selector evaluation, per-subscriber delivery, ack processing — is
+charged to the node's CPU, so queueing at a loaded broker produces the
+paper's RTT-vs-connections curve mechanistically, and per-connection heap +
+thread stacks produce its out-of-memory wall.
+
+Wire protocol (tuples over a transport channel):
+
+====================  =====================================================
+``("publish", msg)``                client → broker: publish a message
+``("subscribe", id, dest, sel)``    client → broker: add subscription
+``("subscribed", id)``              broker → client: subscription confirmed
+``("unsubscribe", id)``             client → broker: remove subscription
+``("ack", n)``                      client → broker: JMS ack for n messages
+``("deliver", id, msg)``            broker → client: push to subscription
+``("forward", msg, targets, hop)``  broker → broker: routed/flooded event
+``("interest", dest, broker, on)``  broker → broker: interest advertisement
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.cluster.jvm import Jvm, OutOfMemoryError
+from repro.jms.destination import Destination, Queue, Topic
+from repro.jms.selector import Selector, parse_selector
+from repro.narada.config import NaradaConfig
+from repro.sim import Store
+from repro.transport.base import EOF, Channel, ChannelClosed, MessageLost
+from repro.transport.tcp import TcpTransport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.narada.broker_network import BrokerNetwork
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class BrokerStats:
+    """Counters the experiments read off."""
+
+    connections_accepted: int = 0
+    connections_refused: int = 0
+    messages_published: int = 0
+    messages_delivered: int = 0
+    messages_forwarded: int = 0
+    forwards_received: int = 0
+    deliveries_dropped: int = 0
+    acks_processed: int = 0
+    selector_evaluations: int = 0
+
+
+@dataclass
+class _Subscription:
+    sub_id: str
+    destination_name: str
+    is_queue: bool
+    selector: Optional[Selector]
+    channel: Optional[Channel]
+    durable: bool = False
+    #: Messages retained while a durable subscriber is disconnected.
+    offline_buffer: list = field(default_factory=list)
+
+
+class Broker:
+    """One broker instance on one node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        name: str,
+        config: Optional[NaradaConfig] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.name = name
+        self.config = config or NaradaConfig()
+        self.jvm = Jvm(
+            sim,
+            node,
+            f"{name}.jvm",
+            heap_bytes=self.config.heap_bytes,
+            thread_stack_bytes=self.config.thread_stack_bytes,
+            native_budget_bytes=self.config.native_budget_bytes,
+        )
+        self.stats = BrokerStats()
+        #: destination name -> ordered subscriptions.
+        self._subs: dict[str, list[_Subscription]] = {}
+        self._subs_by_id: dict[str, _Subscription] = {}
+        #: Queue round-robin cursors.
+        self._rr: dict[str, int] = {}
+        # NIO: one shared dispatch queue + selector thread, lazily started.
+        self._nio_queue: Optional[Store] = None
+        # Broker network plumbing (set by BrokerNetwork.attach).
+        self.network: Optional["BrokerNetwork"] = None
+        self.peer_channels: dict[str, Channel] = {}
+        #: dest name -> set of broker names with local subscribers there.
+        self.remote_interest: dict[str, set[str]] = {}
+        # Flood dedup (bounded LRU of message ids).
+        self._seen: OrderedDict[str, None] = OrderedDict()
+        self.alive = True
+        #: Currently-open client connections (drives scheduling overhead).
+        self.open_connections = 0
+        #: Aggregation buffers: sub_id -> pending message copies.
+        self._agg_buffers: dict[str, list] = {}
+
+    # ------------------------------------------------------------- serving
+    def serve(self, transport: Any, port: int) -> None:
+        """Start accepting client connections on ``transport``/``port``."""
+        transport.listen(self.node, port, self._accept)
+
+    def _accept(self, channel: Channel) -> None:
+        """Transport acceptor; raising refuses the connection."""
+        if not self.alive:
+            self.stats.connections_refused += 1
+            raise ChannelClosed(f"broker {self.name} is down")
+        try:
+            self.jvm.alloc(self.config.per_connection_heap, "connection buffers")
+            if channel.server_mode == "nio":
+                self._register_nio(channel)
+            else:
+                self.jvm.spawn_thread(
+                    self._connection_loop(channel), name=f"{self.name}.conn"
+                )
+        except OutOfMemoryError as exc:
+            self.stats.connections_refused += 1
+            raise ChannelClosed(f"broker {self.name} out of memory: {exc}") from exc
+        self.stats.connections_accepted += 1
+        self.open_connections += 1
+        self.node.execute_process(self.config.accept_cpu)
+
+    def _sched_overhead(self) -> float:
+        """Per-message scheduling overhead growing with open connections."""
+        return self.config.per_connection_cpu * self.open_connections
+
+    # Thread-per-connection service (blocking TCP, UDP).
+    def _connection_loop(self, channel: Channel) -> Generator[Any, Any, None]:
+        while self.alive:
+            delivery = yield channel.receive()
+            if delivery.payload is EOF:
+                self.jvm.free(self.config.per_connection_heap)
+                self.open_connections -= 1
+                self._on_channel_closed(channel)
+                return
+            if not self.alive:
+                return  # shut down while parked in receive()
+            yield from self.node.execute(
+                channel.cost_model.recv_cost(delivery.nbytes)
+            )
+            yield from self._handle(channel, delivery.payload)
+
+    # Shared-selector service (NIO).
+    def _register_nio(self, channel: Channel) -> None:
+        if self._nio_queue is None:
+            self._nio_queue = Store(self.sim)
+            self.jvm.spawn_thread(self._selector_loop(), name=f"{self.name}.selector")
+        queue = self._nio_queue
+        channel.on_deliver = lambda d: queue.put_nowait((channel, d))
+
+    def _selector_loop(self) -> Generator[Any, Any, None]:
+        assert self._nio_queue is not None
+        while self.alive:
+            channel, delivery = yield self._nio_queue.get()
+            if delivery.payload is EOF:
+                self.jvm.free(self.config.per_connection_heap)
+                self.open_connections -= 1
+                continue
+            yield from self.node.execute(
+                self.config.nio_dispatch_cpu
+                + channel.cost_model.recv_cost(delivery.nbytes)
+            )
+            yield from self._handle(channel, delivery.payload)
+
+    # ------------------------------------------------------------ protocol
+    def _handle(self, channel: Channel, frame: tuple) -> Generator[Any, Any, None]:
+        kind = frame[0]
+        if kind == "publish":
+            yield from self._on_publish(frame[1], origin_channel=channel)
+        elif kind == "subscribe":
+            _, sub_id, destination, selector_text, durable = frame
+            yield from self._on_subscribe(
+                channel, sub_id, destination, selector_text, durable
+            )
+        elif kind == "unsubscribe":
+            self._remove_subscription(frame[1])
+        elif kind == "ack":
+            count = frame[1]
+            self.stats.acks_processed += count
+            yield from self.node.execute(self.config.ack_cpu * count)
+        elif kind == "forward":
+            _, message, targets, hop = frame
+            yield from self._on_forward(message, targets, hop)
+        elif kind == "interest":
+            _, dest_name, broker_name, active = frame
+            self._on_interest(dest_name, broker_name, active)
+        else:
+            raise ValueError(f"unknown frame kind {kind!r}")
+
+    # ------------------------------------------------------------- publish
+    def _on_publish(
+        self, message: Any, origin_channel: Optional[Channel]
+    ) -> Generator[Any, Any, None]:
+        self.stats.messages_published += 1
+        cfg = self.config
+        nbytes = message.wire_size()
+        try:
+            self.jvm.alloc(cfg.per_message_heap, "in-flight message")
+        except OutOfMemoryError:
+            self.stats.deliveries_dropped += 1
+            return
+        try:
+            yield from self.node.execute(
+                cfg.message_cpu(nbytes) + self._sched_overhead()
+            )
+            if message.delivery_mode == 2:  # PERSISTENT
+                yield from self.node.execute(cfg.persist_cpu)
+            if not self._mark_seen(message.message_id):
+                return  # duplicate of an already-routed event
+            yield from self._deliver_local(message)
+            if self.network is not None:
+                yield from self.network.forward_from(self, message)
+        finally:
+            self.jvm.free(cfg.per_message_heap)
+
+    def _deliver_local(self, message: Any) -> Generator[Any, Any, None]:
+        cfg = self.config
+        dest = message.destination
+        subs = self._subs.get(dest.name, [])
+        if not subs:
+            return
+        if isinstance(dest, Queue):
+            # Round-robin among matching queue receivers.
+            start = self._rr.get(dest.name, 0)
+            n = len(subs)
+            for k in range(n):
+                sub = subs[(start + k) % n]
+                self.stats.selector_evaluations += 1
+                yield from self.node.execute(cfg.selector_eval_cpu)
+                if sub.selector is None or sub.selector.matches(message):
+                    self._rr[dest.name] = (start + k + 1) % n
+                    yield from self._push(sub, message)
+                    return
+            return
+        for sub in list(subs):
+            self.stats.selector_evaluations += 1
+            yield from self.node.execute(cfg.selector_eval_cpu)
+            if sub.selector is None or sub.selector.matches(message):
+                yield from self._push(sub, message)
+
+    def _on_channel_closed(self, channel: Channel) -> None:
+        """Client disconnected: durable subscriptions go offline (messages
+        buffer until re-subscribe); non-durable ones die with the channel."""
+        for sub in list(self._subs_by_id.values()):
+            if sub.channel is not channel and sub.channel is not channel.peer:
+                continue
+            if sub.durable:
+                sub.channel = None
+            else:
+                self._remove_subscription(sub.sub_id)
+
+    def _push(self, sub: _Subscription, message: Any) -> Generator[Any, Any, None]:
+        cfg = self.config
+        copy = message.copy()
+        copy.destination = message.destination
+        if sub.channel is None or sub.channel.closed:
+            # Offline durable subscriber: retain for later delivery.
+            if sub.durable:
+                sub.offline_buffer.append(copy)
+                self.jvm.alloc(cfg.per_message_heap, "durable retention")
+                if len(sub.offline_buffer) > cfg.durable_buffer_max:
+                    sub.offline_buffer.pop(0)
+                    self.jvm.free(cfg.per_message_heap)
+                    self.stats.deliveries_dropped += 1
+            else:
+                self.stats.deliveries_dropped += 1
+            return
+        if cfg.aggregation_window > 0:
+            yield from self.node.execute(cfg.aggregate_member_cpu)
+            self._aggregate(sub, copy)
+            return
+        yield from self.node.execute(cfg.deliver_cpu)
+        try:
+            yield from sub.channel.send(
+                ("deliver", sub.sub_id, copy),
+                copy.wire_size() + cfg.frame_overhead_bytes,
+            )
+            self.stats.messages_delivered += 1
+        except (MessageLost, ChannelClosed):
+            self.stats.deliveries_dropped += 1
+
+    # ---------------------------------------------------------- aggregation
+    def _aggregate(self, sub: _Subscription, message: Any) -> None:
+        """RMM-style aggregation: buffer per subscription, flush on a timer.
+
+        One combined wire message per window pays the delivery cost once —
+        "the quantity of the messages is the dominant overhead" (paper §IV).
+        """
+        buffer = self._agg_buffers.get(sub.sub_id)
+        if buffer is not None:
+            buffer.append(message)
+            return
+        self._agg_buffers[sub.sub_id] = [message]
+        self.sim.call_at(
+            self.sim.now + self.config.aggregation_window,
+            lambda: self.sim.process(self._flush_aggregate(sub), name="agg.flush"),
+        )
+
+    def _flush_aggregate(self, sub: _Subscription) -> Generator[Any, Any, None]:
+        batch = self._agg_buffers.pop(sub.sub_id, None)
+        if not batch:
+            return
+        cfg = self.config
+        yield from self.node.execute(cfg.deliver_cpu)
+        nbytes = sum(m.wire_size() for m in batch) + cfg.frame_overhead_bytes
+        try:
+            yield from sub.channel.send(
+                ("deliver_batch", sub.sub_id, batch), nbytes
+            )
+            self.stats.messages_delivered += len(batch)
+        except (MessageLost, ChannelClosed):
+            self.stats.deliveries_dropped += len(batch)
+
+    # ------------------------------------------------------------ subscribe
+    def _on_subscribe(
+        self,
+        channel: Channel,
+        sub_id: str,
+        destination: Destination,
+        selector_text: Optional[str],
+        durable: bool = False,
+    ) -> Generator[Any, Any, None]:
+        existing = self._subs_by_id.get(sub_id)
+        if existing is not None and existing.durable and existing.channel is None:
+            # Durable re-subscribe: reattach and flush the retained backlog.
+            existing.channel = channel
+            yield from self.node.execute(self.config.routing_cpu)
+            try:
+                yield from channel.send(
+                    ("subscribed", sub_id), self.config.control_bytes
+                )
+            except (MessageLost, ChannelClosed):
+                return
+            backlog, existing.offline_buffer = existing.offline_buffer, []
+            for message in backlog:
+                self.jvm.free(self.config.per_message_heap)
+                yield from self._push(existing, message)
+            return
+        sub = _Subscription(
+            sub_id=sub_id,
+            destination_name=destination.name,
+            is_queue=isinstance(destination, Queue),
+            selector=parse_selector(selector_text),
+            channel=channel,
+            durable=durable,
+        )
+        self._subs.setdefault(destination.name, []).append(sub)
+        self._subs_by_id[sub_id] = sub
+        yield from self.node.execute(self.config.routing_cpu)
+        try:
+            yield from channel.send(("subscribed", sub_id), self.config.control_bytes)
+        except (MessageLost, ChannelClosed):
+            pass
+        if self.network is not None:
+            yield from self.network.advertise_interest(self, destination.name, True)
+
+    def _remove_subscription(self, sub_id: str) -> None:
+        sub = self._subs_by_id.pop(sub_id, None)
+        if sub is None:
+            return
+        bucket = self._subs.get(sub.destination_name, [])
+        try:
+            bucket.remove(sub)
+        except ValueError:
+            pass
+        if not bucket and self.network is not None:
+            self.sim.process(
+                self.network.advertise_interest(self, sub.destination_name, False),
+                name=f"{self.name}.interest-off",
+            )
+
+    def subscription_count(self, destination_name: Optional[str] = None) -> int:
+        if destination_name is None:
+            return len(self._subs_by_id)
+        return len(self._subs.get(destination_name, []))
+
+    # ------------------------------------------------- broker network hooks
+    def _on_forward(
+        self, message: Any, targets: Optional[tuple], hop_from: str
+    ) -> Generator[Any, Any, None]:
+        self.stats.forwards_received += 1
+        cfg = self.config
+        yield from self.node.execute(cfg.forward_recv_cpu + self._sched_overhead())
+        if cfg.broadcast_flaw:
+            if not self._mark_seen(message.message_id):
+                return
+            yield from self._deliver_local(message)
+            if self.network is not None:
+                yield from self.network.flood(self, message, exclude=hop_from)
+        else:
+            assert targets is not None
+            if self.name in targets:
+                yield from self._deliver_local(message)
+            remaining = tuple(t for t in targets if t != self.name)
+            if remaining and self.network is not None:
+                yield from self.network.route(self, message, remaining)
+
+    def _on_interest(self, dest_name: str, broker_name: str, active: bool) -> None:
+        bucket = self.remote_interest.setdefault(dest_name, set())
+        if active:
+            bucket.add(broker_name)
+        else:
+            bucket.discard(broker_name)
+
+    def _mark_seen(self, message_id: str) -> bool:
+        """Record a routed event id; False when it is a duplicate."""
+        if message_id in self._seen:
+            return False
+        self._seen[message_id] = None
+        if len(self._seen) > self.config.dedup_capacity:
+            self._seen.popitem(last=False)
+        return True
+
+    # ---------------------------------------------------------------- admin
+    def shutdown(self) -> None:
+        self.alive = False

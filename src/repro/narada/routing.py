@@ -1,0 +1,57 @@
+"""Shortest-path event routing over the Broker Network Map.
+
+"NaradaBrokering has a very efficient algorithm to find a shortest route to
+send the events to the destination in a BNM" (paper §II.B).  The BNM is a
+small graph of brokers with weighted links (we weight by measured link
+latency); Dijkstra from each broker yields next-hop tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Mapping
+
+Graph = Mapping[Hashable, Mapping[Hashable, float]]
+
+
+def shortest_paths(
+    graph: Graph, source: Hashable
+) -> tuple[dict[Hashable, float], dict[Hashable, Hashable]]:
+    """Dijkstra.  Returns ``(distance, first_hop)`` maps from ``source``.
+
+    ``first_hop[target]`` is the neighbour of ``source`` on a shortest path
+    to ``target`` — exactly what a broker needs to forward an event.
+    """
+    if source not in graph:
+        raise KeyError(f"unknown source {source!r}")
+    dist: dict[Hashable, float] = {source: 0.0}
+    first_hop: dict[Hashable, Hashable] = {}
+    heap: list[tuple[float, int, Hashable, Hashable]] = []
+    seq = 0
+    for neighbour, weight in graph[source].items():
+        if weight < 0:
+            raise ValueError("negative link weight")
+        seq += 1
+        heapq.heappush(heap, (weight, seq, neighbour, neighbour))
+    visited = {source}
+    while heap:
+        d, _, node, hop = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        dist[node] = d
+        first_hop[node] = hop
+        for neighbour, weight in graph.get(node, {}).items():
+            if weight < 0:
+                raise ValueError("negative link weight")
+            if neighbour not in visited:
+                seq += 1
+                heapq.heappush(heap, (d + weight, seq, neighbour, hop))
+    return dist, first_hop
+
+
+def routing_tables(
+    graph: Graph,
+) -> dict[Hashable, dict[Hashable, Hashable]]:
+    """First-hop table for every broker in the graph."""
+    return {broker: shortest_paths(graph, broker)[1] for broker in graph}

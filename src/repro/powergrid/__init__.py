@@ -1,0 +1,32 @@
+"""The power-grid monitoring workload.
+
+"We have developed a Java program to simulate the activities of a large
+number of distributed power generators.  It could fork into a large number
+of threads.  Each thread may simulate one power generator and generate
+monitoring data, such as power output and voltage.  These monitoring data
+were published to the middleware periodically at a specified frequency"
+(paper §III.B).  This package is that program: a generator state model, the
+paper's exact payload shapes for both middlewares, fleet builders with the
+paper's staggered creation and randomised warm-up, and recording receivers.
+"""
+
+from repro.powergrid.generator import GeneratorState, PowerGenerator
+from repro.powergrid.payload import narada_map_message, rgma_row
+from repro.powergrid.workload import (
+    FleetConfig,
+    NaradaFleet,
+    RgmaFleet,
+)
+from repro.powergrid.receiver import NaradaReceiver, RgmaReceiver
+
+__all__ = [
+    "FleetConfig",
+    "GeneratorState",
+    "NaradaFleet",
+    "NaradaReceiver",
+    "PowerGenerator",
+    "RgmaFleet",
+    "RgmaReceiver",
+    "narada_map_message",
+    "rgma_row",
+]

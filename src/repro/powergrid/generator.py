@@ -1,0 +1,87 @@
+"""A small dynamic model of one distributed power generator.
+
+The paper's motivation (§I): many small renewable generators whose "power
+output and voltage" must be monitored.  The model is a wind-like source:
+power output follows a mean-reverting (Ornstein-Uhlenbeck-style) process
+clipped to the unit's capacity; voltage sits near nominal with load-coupled
+sag; a breaker trip zeroes output occasionally — giving the monitoring
+stream realistic variety without dominating simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GeneratorState:
+    """One sampled reading."""
+
+    gen_id: int
+    seq: int
+    time: float
+    power_kw: float
+    voltage_v: float
+    frequency_hz: float
+    breaker_closed: bool
+    site: str
+
+
+class PowerGenerator:
+    """Stateful reading source for one generator."""
+
+    NOMINAL_VOLTAGE = 415.0  # three-phase LV distribution
+    NOMINAL_FREQUENCY = 50.0
+
+    def __init__(
+        self,
+        gen_id: int,
+        rng: np.random.Generator,
+        capacity_kw: float = 50.0,
+        site: str = "uk-site",
+        trip_probability: float = 0.002,
+    ):
+        self.gen_id = gen_id
+        self.rng = rng
+        self.capacity_kw = capacity_kw
+        self.site = site
+        self.trip_probability = trip_probability
+        self._power = capacity_kw * float(rng.uniform(0.2, 0.8))
+        self._breaker_closed = True
+        self._seq = 0
+
+    def sample(self, now: float) -> GeneratorState:
+        """Advance the state one publish interval and read it."""
+        rng = self.rng
+        # Mean-reverting power with multiplicative noise.
+        target = 0.55 * self.capacity_kw
+        self._power += 0.15 * (target - self._power) + float(
+            rng.normal(0.0, 0.06 * self.capacity_kw)
+        )
+        self._power = float(np.clip(self._power, 0.0, self.capacity_kw))
+        # Occasional breaker trip / reclose.
+        if self._breaker_closed:
+            if rng.random() < self.trip_probability:
+                self._breaker_closed = False
+        else:
+            if rng.random() < 0.2:  # reclose fairly quickly
+                self._breaker_closed = True
+        power = self._power if self._breaker_closed else 0.0
+        # Voltage sags slightly with output; small noise.
+        voltage = self.NOMINAL_VOLTAGE * (
+            1.0 - 0.01 * power / self.capacity_kw + float(rng.normal(0, 0.002))
+        )
+        frequency = self.NOMINAL_FREQUENCY + float(rng.normal(0, 0.01))
+        self._seq += 1
+        return GeneratorState(
+            gen_id=self.gen_id,
+            seq=self._seq,
+            time=now,
+            power_kw=round(power, 3),
+            voltage_v=round(voltage, 2),
+            frequency_hz=round(frequency, 3),
+            breaker_closed=self._breaker_closed,
+            site=self.site,
+        )

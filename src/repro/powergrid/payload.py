@@ -1,0 +1,70 @@
+"""The paper's exact payload shapes.
+
+Narada (§III.E): "Two integer, five float, two long, three double and four
+string values were packaged in a JMS MapMessage as monitoring data."
+
+R-GMA (§III.F): "We used four integer, eight double and four char (length
+20) values, which were wrapped in an SQL statement, as monitoring data."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.jms.message import MapMessage
+from repro.powergrid.generator import GeneratorState
+
+
+def narada_map_message(state: GeneratorState) -> MapMessage:
+    """2 int + 5 float + 2 long + 3 double + 4 string, plus the ``id``
+    property the paper's selector ("id<10000") filters on."""
+    m = MapMessage()
+    # two integers
+    m.set_int("genid", state.gen_id)
+    m.set_int("seq", state.seq)
+    # five floats
+    m.set_float("power_kw", state.power_kw)
+    m.set_float("voltage_v", state.voltage_v)
+    m.set_float("frequency_hz", state.frequency_hz)
+    m.set_float("reactive_kvar", round(state.power_kw * 0.18, 3))
+    m.set_float("current_a", round(state.power_kw * 1.4, 3))
+    # two longs
+    m.set_long("sample_time_ms", int(state.time * 1000))
+    m.set_long("uptime_ms", int(state.time * 1000) + state.gen_id)
+    # three doubles
+    m.set_double("energy_kwh", state.power_kw * state.time / 3600.0)
+    m.set_double("setpoint_kw", state.power_kw)
+    m.set_double("efficiency", 0.93)
+    # four strings
+    m.set_string("site", state.site[:20])
+    m.set_string("status", "ON" if state.breaker_closed else "TRIPPED")
+    m.set_string("model", "WT-50kW-mk2")
+    m.set_string("operator", "grid-op-uk")
+    # Selector property (paper: subscribed with "id<10000").
+    m.set_property("id", state.gen_id)
+    return m
+
+
+def rgma_row(state: GeneratorState) -> dict[str, Any]:
+    """4 integer + 8 double + 4 char(20) columns of the ``gridmon`` table."""
+    return {
+        # four integers
+        "genid": state.gen_id,
+        "ival1": state.seq,
+        "ival2": int(state.breaker_closed),
+        "ival3": int(state.time),
+        # eight doubles
+        "dval1": state.power_kw,
+        "dval2": state.voltage_v,
+        "dval3": state.frequency_hz,
+        "dval4": round(state.power_kw * 0.18, 3),
+        "dval5": round(state.power_kw * 1.4, 3),
+        "dval6": state.power_kw * state.time / 3600.0,
+        "dval7": state.power_kw,
+        "dval8": 0.93,
+        # four char(20)
+        "sval1": state.site[:20],
+        "sval2": ("ON" if state.breaker_closed else "TRIPPED")[:20],
+        "sval3": "WT-50kW-mk2",
+        "sval4": "grid-op-uk",
+    }

@@ -1,0 +1,134 @@
+"""Recording receivers.
+
+"Another Java program received data from the middleware.  Information of
+the monitoring data (such as sending and receiving time, etc) was dumped
+into a local text file for later analysis" (§III.B).  The receivers stamp
+``t_arrived`` / ``t_received`` on each message's record; the "text file" is
+the shared :class:`~repro.core.records.RecordBook`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.jms import AckMode
+from repro.jms.destination import Topic
+from repro.narada.client import narada_connection_factory
+from repro.transport.base import ChannelClosed, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.hydra import HydraCluster
+    from repro.narada.config import NaradaConfig
+    from repro.rgma.site import RGMADeployment
+    from repro.sim.kernel import Simulator
+
+#: The paper's subscriber selector: "this selector did not filter out any
+#: data but just to simulate real uses" (§III.E).
+PAPER_SELECTOR = "id<10000"
+
+
+class NaradaReceiver:
+    """One subscriber connection with a recording listener."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "HydraCluster",
+        transport: Any,
+        broker_address: tuple[str, int],
+        node_name: str,
+        topic: Topic,
+        selector: Optional[str] = PAPER_SELECTOR,
+        ack_mode: int = AckMode.AUTO_ACKNOWLEDGE,
+        client_ack_batch: int = 10,
+        config: Optional["NaradaConfig"] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.transport = transport
+        self.broker_address = broker_address
+        self.node_name = node_name
+        self.topic = topic
+        self.selector = selector
+        self.ack_mode = ack_mode
+        self.client_ack_batch = client_ack_batch
+        self.config = config
+        self.received = 0
+        self.connected = False
+
+    def start(self) -> Generator[Any, Any, None]:
+        """Connect and subscribe; raises if the broker refuses."""
+        factory = narada_connection_factory(
+            self.sim,
+            self.transport,
+            self.cluster.node(self.node_name),
+            self.broker_address[0],
+            self.broker_address[1],
+            self.config,
+        )
+        connection = yield from factory.create_connection()
+        connection.start()
+        session = connection.create_session(ack_mode=self.ack_mode)
+        yield from session.create_subscriber(
+            self.topic, selector=self.selector, listener=self._on_message
+        )
+        self.connected = True
+        self._connection = connection
+
+    def _on_message(self, message: Any) -> None:
+        self.received += 1
+        record = getattr(message, "_record", None)
+        if record is not None:
+            record.t_arrived = getattr(message, "_t_arrived_client", self.sim.now)
+            record.t_received = self.sim.now
+        if (
+            self.ack_mode == AckMode.CLIENT_ACKNOWLEDGE
+            and self.received % self.client_ack_batch == 0
+        ):
+            message.acknowledge()
+
+
+class RgmaReceiver:
+    """The paper's R-GMA subscriber: a 100 ms polling loop."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "HydraCluster",
+        deployment: "RGMADeployment",
+        node_name: str,
+        select_sql: str = "SELECT * FROM gridmon",
+        consumer_index: int = 0,
+        producer_type: Optional[str] = None,
+        poll_interval: float = 0.1,
+    ):
+        self.sim = sim
+        self.deployment = deployment
+        self.client = deployment.consumer_client(
+            cluster.node(node_name), consumer_index
+        )
+        self.select_sql = select_sql
+        self.producer_type = producer_type
+        self.poll_interval = poll_interval
+        self.received = 0
+        self.connected = False
+
+    def start(self) -> Generator[Any, Any, None]:
+        yield from self.client.create(
+            self.select_sql, producer_type=self.producer_type
+        )
+        self.connected = True
+        self.sim.process(
+            self.client.poll_loop(self._on_tuple, self.poll_interval),
+            name="rgma.subscriber",
+        )
+
+    def _on_tuple(self, t: Any) -> None:
+        self.received += 1
+        record = t.meta.get("record")
+        if record is not None:
+            record.t_arrived = t.meta.get("t_poll_start", self.sim.now)
+            record.t_received = self.sim.now
+
+    def stop(self) -> None:
+        self.client.stop()

@@ -1,0 +1,276 @@
+"""Fleet builders: many simulated generators publishing monitoring data.
+
+Reproduces the paper's workload shape: generators are created at a fixed
+interval (0.5 s for the Narada tests, 1 s for R-GMA), each "first slept for
+a random time between 10 to 20 seconds to allow the monitoring data to
+distribute evenly", then published every 10 seconds (§III.E, §III.F).
+
+Fleet sizes and durations are scalable so the benchmark suite can run at
+laptop scale; the paper-scale values are the defaults of
+:class:`FleetConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.core.records import RecordBook
+from repro.jms import AckMode, Topic
+from repro.jms.message import MapMessage
+from repro.narada.client import narada_connection_factory
+from repro.powergrid.generator import PowerGenerator
+from repro.powergrid.payload import narada_map_message, rgma_row
+from repro.transport.base import ChannelClosed, MessageLost, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.hydra import HydraCluster
+    from repro.narada.config import NaradaConfig
+    from repro.rgma.site import RGMADeployment
+    from repro.sim.kernel import Simulator
+
+MONITORING_TOPIC = Topic("power.monitoring")
+
+
+@dataclass
+class FleetConfig:
+    """Workload shape; defaults are the paper's values."""
+
+    n_generators: int = 800
+    publish_interval: float = 10.0
+    creation_interval: float = 0.5
+    warmup_min: float = 10.0
+    warmup_max: float = 20.0
+    #: Publishing duration per generator, measured from the end of its
+    #: warm-up (paper: 30-minute tests).
+    duration: float = 1800.0
+    #: Absolute simulated stop time.  When set, every generator keeps
+    #: publishing (and stays connected) until this instant, so all
+    #: ``n_generators`` connections are concurrently open in steady state —
+    #: the paper's "concurrent connections" axis.  Overrides ``duration``.
+    stop_at: float | None = None
+    #: Payload multiplier (comparison test 5 "Triple": x3 payload, 1/3 rate).
+    payload_multiplier: int = 1
+    #: Hosts that run generator client threads.
+    client_nodes: tuple[str, ...] = ("hydra5", "hydra6", "hydra7", "hydra8")
+    #: Skip the random warm-up (the R-GMA loss experiment).
+    skip_warmup: bool = False
+    #: "block": node k hosts the contiguous id range [k*n/K, (k+1)*n/K) —
+    #: the paper's layout, letting each node's co-located receiver subscribe
+    #: to its own generators with an id-range selector.  "roundrobin"
+    #: interleaves instead.
+    assignment: str = "block"
+
+    def node_index(self, gen_id: int) -> int:
+        """Which client node hosts generator ``gen_id``."""
+        k = len(self.client_nodes)
+        if self.assignment == "block":
+            return min(k - 1, gen_id * k // max(1, self.n_generators))
+        return gen_id % k
+
+    def id_range(self, node_index: int) -> tuple[int, int]:
+        """[lo, hi) of generator ids hosted on ``client_nodes[node_index]``
+        under block assignment: ``gen_id*k//n == j  <=>  lo <= gen_id < hi``
+        with ``lo = ceil(j*n/k)``."""
+        k = len(self.client_nodes)
+        n = self.n_generators
+        lo = (node_index * n + k - 1) // k
+        hi = ((node_index + 1) * n + k - 1) // k
+        return lo, hi
+
+    def scaled(self, scale: float) -> "FleetConfig":
+        """A laptop-scale variant: fewer generators, compressed phases."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            n_generators=max(1, int(self.n_generators * scale)),
+            duration=max(30.0, self.duration * scale),
+            creation_interval=self.creation_interval * scale,
+        )
+
+
+@dataclass
+class FleetStats:
+    connections_ok: int = 0
+    connections_refused: int = 0
+    publishes_attempted: int = 0
+    publish_failures: int = 0
+
+
+class NaradaFleet:
+    """Generators publishing JMS MapMessages to Narada brokers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "HydraCluster",
+        transport: Any,
+        broker_addresses: list[tuple[str, int]],
+        fleet: FleetConfig,
+        book: RecordBook,
+        config: Optional["NaradaConfig"] = None,
+        topic: Topic = MONITORING_TOPIC,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.transport = transport
+        self.broker_addresses = broker_addresses
+        self.fleet = fleet
+        self.book = book
+        self.config = config
+        self.topic = topic
+        self.stats = FleetStats()
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._started = True
+        self.sim.process(self._spawner(), name="narada.fleet")
+
+    def _spawner(self) -> Generator[Any, Any, None]:
+        for i in range(self.fleet.n_generators):
+            node_index = self.fleet.node_index(i)
+            node_name = self.fleet.client_nodes[node_index]
+            broker = self.broker_addresses[node_index % len(self.broker_addresses)]
+            self.sim.process(
+                self._generator(i, node_name, broker), name=f"gen{i}"
+            )
+            yield self.sim.timeout(self.fleet.creation_interval)
+
+    def _generator(
+        self, gen_id: int, node_name: str, broker: tuple[str, int]
+    ) -> Generator[Any, Any, None]:
+        sim = self.sim
+        fleet = self.fleet
+        factory = narada_connection_factory(
+            sim,
+            self.transport,
+            self.cluster.node(node_name),
+            broker[0],
+            broker[1],
+            self.config,
+        )
+        try:
+            connection = yield from factory.create_connection()
+        except (ChannelClosed, TransportError):
+            self.stats.connections_refused += 1
+            return
+        self.stats.connections_ok += 1
+        connection.start()
+        session = connection.create_session()
+        publisher = session.create_publisher(self.topic)
+        model = PowerGenerator(
+            gen_id, sim.rng.stream(f"powergen.{gen_id}"),
+            site=f"site-{gen_id % 97}",
+        )
+        if not fleet.skip_warmup:
+            yield sim.timeout(
+                sim.rng.uniform("fleet.warmup", fleet.warmup_min, fleet.warmup_max)
+            )
+        interval = fleet.publish_interval * fleet.payload_multiplier
+        stop_at = fleet.stop_at if fleet.stop_at is not None else sim.now + fleet.duration
+        seq = 0
+        while sim.now < stop_at:
+            seq += 1
+            state = model.sample(sim.now)
+            message = narada_map_message(state)
+            if fleet.payload_multiplier > 1:
+                _inflate_payload(message, fleet.payload_multiplier)
+            record = self.book.new_record(gen_id, seq, sim.now)
+            message._record = record
+            self.stats.publishes_attempted += 1
+            try:
+                yield from publisher.publish(message)
+                record.t_after_send = sim.now
+            except (MessageLost, ChannelClosed):
+                self.stats.publish_failures += 1
+            yield sim.timeout(interval)
+        connection.close()
+
+
+def _inflate_payload(message: MapMessage, multiplier: int) -> None:
+    """Comparison test 5: replicate the field set to triple the payload."""
+    names = list(message.item_names())
+    for k in range(1, multiplier):
+        for name in names:
+            jms_type, value = message._body[name]
+            message._body[f"{name}_x{k}"] = (jms_type, value)
+
+
+class RgmaFleet:
+    """Generators inserting rows through R-GMA Primary Producers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "HydraCluster",
+        deployment: "RGMADeployment",
+        fleet: FleetConfig,
+        book: RecordBook,
+        table: str = "gridmon",
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.deployment = deployment
+        self.fleet = fleet
+        self.book = book
+        self.table = table
+        self.stats = FleetStats()
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._started = True
+        self.sim.process(self._spawner(), name="rgma.fleet")
+
+    def _spawner(self) -> Generator[Any, Any, None]:
+        for i in range(self.fleet.n_generators):
+            node_index = self.fleet.node_index(i)
+            node_name = self.fleet.client_nodes[node_index]
+            self.sim.process(
+                self._generator(i, node_name, node_index), name=f"rgen{i}"
+            )
+            yield self.sim.timeout(self.fleet.creation_interval)
+
+    def _generator(
+        self, gen_id: int, node_name: str, node_index: int
+    ) -> Generator[Any, Any, None]:
+        from repro.rgma.errors import RGMAException
+
+        sim = self.sim
+        fleet = self.fleet
+        client = self.deployment.producer_client(
+            self.cluster.node(node_name), node_index
+        )
+        try:
+            yield from client.create(self.table)
+        except (RGMAException, ChannelClosed, TransportError):
+            self.stats.connections_refused += 1
+            return
+        self.stats.connections_ok += 1
+        model = PowerGenerator(
+            gen_id, sim.rng.stream(f"powergen.{gen_id}"),
+            site=f"site-{gen_id % 97}"[:20],
+        )
+        if not fleet.skip_warmup:
+            yield sim.timeout(
+                sim.rng.uniform("fleet.warmup", fleet.warmup_min, fleet.warmup_max)
+            )
+        stop_at = fleet.stop_at if fleet.stop_at is not None else sim.now + fleet.duration
+        seq = 0
+        while sim.now < stop_at:
+            seq += 1
+            state = model.sample(sim.now)
+            row = rgma_row(state)
+            record = self.book.new_record(gen_id, seq, sim.now)
+            self.stats.publishes_attempted += 1
+            try:
+                yield from client.insert(row, meta={"record": record})
+                record.t_after_send = sim.now
+            except (RGMAException, ChannelClosed, TransportError):
+                self.stats.publish_failures += 1
+            yield sim.timeout(fleet.publish_interval)
+        yield from client.close()

@@ -1,0 +1,66 @@
+"""The Relational Grid Monitoring Architecture (R-GMA).
+
+"The novel design of R-GMA is that it has a large virtual database ... which
+looks and operates like a conventional relational database.  It supports a
+subset of the standard SQL language.  Data are published using SQL INSERT
+statement and queried using SQL SELECT statement.  ...  a virtual database
+has no central storage and data are distributed all over the network"
+(paper §II.A).
+
+This package implements the full pipeline the paper benchmarks in §III.F:
+
+* :mod:`repro.rgma.sql` — the SQL subset (CREATE TABLE / INSERT / SELECT
+  with WHERE predicates reusing the selector engine);
+* :mod:`repro.rgma.schema` — the schema service (table definitions);
+* :mod:`repro.rgma.storage` — producer memory storage with the paper's
+  latest/history retention periods;
+* :mod:`repro.rgma.registry` — registry + mediator: producer/consumer
+  registration and continuous-query matchmaking, including the propagation
+  delay behind the paper's "warm-up" requirement;
+* :mod:`repro.rgma.servlet` — a Tomcat-like servlet container (worker pool,
+  connector limits, per-connection heap: the OOM wall below 800 clients);
+* :mod:`repro.rgma.producer` — Primary and Secondary Producer resources and
+  client APIs (the Secondary Producer carries the deliberate 30 s republish
+  delay the paper discovered);
+* :mod:`repro.rgma.consumer` — the Consumer resource (continuous, latest
+  and history queries) and the polling client;
+* :mod:`repro.rgma.site` — deployment assembly: single-server and
+  distributed R-GMA installations.
+"""
+
+from repro.rgma.errors import RGMAException, RGMATemporaryException
+from repro.rgma.sql import CreateTable, Insert, Select, parse_sql
+from repro.rgma.schema import ColumnDef, Schema, TableDef
+from repro.rgma.storage import Tuple, TupleStore
+from repro.rgma.registry import Registry, RGMAConfig
+from repro.rgma.servlet import ServletContainer
+from repro.rgma.producer import (
+    PrimaryProducerClient,
+    PrimaryProducerResource,
+    SecondaryProducerResource,
+)
+from repro.rgma.consumer import ConsumerClient, ConsumerResource
+from repro.rgma.site import RGMADeployment
+
+__all__ = [
+    "ColumnDef",
+    "ConsumerClient",
+    "ConsumerResource",
+    "CreateTable",
+    "Insert",
+    "PrimaryProducerClient",
+    "PrimaryProducerResource",
+    "RGMAConfig",
+    "RGMADeployment",
+    "RGMAException",
+    "RGMATemporaryException",
+    "Registry",
+    "Schema",
+    "SecondaryProducerResource",
+    "Select",
+    "ServletContainer",
+    "TableDef",
+    "Tuple",
+    "TupleStore",
+    "parse_sql",
+]

@@ -1,0 +1,186 @@
+"""Consumer resource and the polling subscriber client.
+
+"Consumer used continuous query to receive data from Primary Producers.
+Another Java program (subscriber) used Consumer API to receive data from the
+Consumer.  The subscriber could not be automatically notified by the
+Consumer and it queried the Consumer at the interval of 100 milliseconds"
+(paper §III.F).
+
+A :class:`ConsumerResource` lives in a servlet container: the mediator
+attaches producers to it, streamed tuples are processed (the dominant CPU
+cost in R-GMA's pipeline — the paper's Process Time) and parked in an
+outbox; a :class:`ConsumerClient` polls the outbox over HTTP every 100 ms.
+One-shot *latest* and *history* queries are also supported (paper §II.A:
+"latest and historical query").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.rgma.errors import RGMAException
+from repro.rgma.registry import Registry
+from repro.rgma.sql import Select, parse_sql
+from repro.rgma.storage import Tuple
+from repro.transport.http import HttpClient
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.rgma.servlet import ServletContainer
+    from repro.sim.kernel import Simulator
+
+
+class ConsumerResource:
+    """Server-side consumer: target of producer streams."""
+
+    def __init__(
+        self,
+        container: "ServletContainer",
+        registry: Registry,
+        select: Select,
+        resource_id: str,
+        on_tuple: Optional[Callable[[Tuple], None]] = None,
+    ):
+        self.container = container
+        self.registry = registry
+        self.sim = container.sim
+        self.config = container.config
+        self.select = select
+        self.table_name = select.table
+        self.predicate = select.where
+        self.resource_id = resource_id
+        self.on_tuple = on_tuple
+        self.outbox: deque[Tuple] = deque()
+        self.tuples_received = 0
+        self.consumer_id: Optional[str] = None  # registry id
+        self.closed = False
+
+    def _on_batch(self, batch: list[Tuple]) -> Generator[Any, Any, None]:
+        """Process one streamed batch: the R-GMA 'Process Time' hot spot."""
+        if self.closed:
+            return
+        for t in batch:
+            yield from self.container.node.execute(self.config.consumer_tuple_cpu)
+            t.meta["t_consumer_ready"] = self.sim.now
+            self.tuples_received += 1
+            if self.on_tuple is not None:
+                self.on_tuple(t)
+            else:
+                self.outbox.append(t)
+
+    def drain(self) -> list[Tuple]:
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+    def close(self) -> None:
+        self.closed = True
+        if self.consumer_id is not None:
+            self.registry.deregister_consumer(self.consumer_id)
+
+
+class ConsumerClient:
+    """Client-side consumer API: create a continuous query, then poll.
+
+    ``poll_loop`` reproduces the paper's subscriber: a 100 ms polling
+    process that hands each received tuple to a callback.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        transport: Any,
+        node: "Node",
+        server_host: str,
+        port: int,
+    ):
+        self.sim = sim
+        self.node = node
+        self.http = HttpClient(sim, transport, node, server_host, port)
+        self.resource_id: Optional[str] = None
+        self.tuples_received = 0
+        self._polling = False
+
+    def create(
+        self, select_sql: str, producer_type: Optional[str] = None
+    ) -> Generator[Any, Any, str]:
+        """Start a continuous query; returns the resource id."""
+        stmt = parse_sql(select_sql)
+        if not isinstance(stmt, Select):
+            raise RGMAException("consumer query must be a SELECT")
+        response = yield from self.http.request(
+            "/consumer/create",
+            {"sql": select_sql, "producer_type": producer_type},
+            len(select_sql) + 80,
+        )
+        if response.status != 200:
+            raise RGMAException(f"consumer create failed: {response.body}")
+        self.resource_id = response.body["resource_id"]
+        return self.resource_id
+
+    def poll_once(self) -> Generator[Any, Any, list[Tuple]]:
+        """One poll round trip; returns (possibly empty) tuples."""
+        if self.resource_id is None:
+            raise RGMAException("poll before create()")
+        t_poll_start = self.sim.now
+        response = yield from self.http.request(
+            "/consumer/pop", {"resource_id": self.resource_id}, 90
+        )
+        if response.status != 200:
+            raise RGMAException(f"poll failed: {response.body}")
+        tuples: list[Tuple] = response.body["tuples"]
+        for t in tuples:
+            t.meta["t_poll_start"] = t_poll_start
+            t.meta["t_received"] = self.sim.now
+        self.tuples_received += len(tuples)
+        return tuples
+
+    def poll_loop(
+        self,
+        on_tuple: Callable[[Tuple], None],
+        interval: Optional[float] = None,
+    ) -> Generator[Any, Any, None]:
+        """The paper's subscriber loop (100 ms poll interval)."""
+        if interval is None:
+            interval = 0.1
+        self._polling = True
+        while self._polling:
+            tuples = yield from self.poll_once()
+            for t in tuples:
+                on_tuple(t)
+            yield self.sim.timeout(interval)
+
+    def stop(self) -> None:
+        self._polling = False
+
+    # ----------------------------------------------------- one-shot queries
+    def query_latest(self, select_sql: str) -> Generator[Any, Any, list[Tuple]]:
+        """Latest-tuple-per-key snapshot across matching producers."""
+        return_value = yield from self._one_shot("/consumer/latest", select_sql)
+        return return_value
+
+    def query_history(self, select_sql: str) -> Generator[Any, Any, list[Tuple]]:
+        """All retained history across matching producers."""
+        return_value = yield from self._one_shot("/consumer/history", select_sql)
+        return return_value
+
+    def _one_shot(self, path: str, select_sql: str) -> Generator[Any, Any, list[Tuple]]:
+        stmt = parse_sql(select_sql)
+        if not isinstance(stmt, Select):
+            raise RGMAException("query must be a SELECT")
+        response = yield from self.http.request(
+            path, {"sql": select_sql}, len(select_sql) + 80
+        )
+        if response.status != 200:
+            raise RGMAException(f"query failed: {response.body}")
+        return response.body["tuples"]
+
+    def close(self) -> Generator[Any, Any, None]:
+        self.stop()
+        if self.resource_id is not None:
+            yield from self.http.request(
+                "/consumer/close", {"resource_id": self.resource_id}, 100
+            )
+            self.resource_id = None
+        self.http.close()

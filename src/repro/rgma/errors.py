@@ -1,0 +1,9 @@
+"""R-GMA exception types."""
+
+
+class RGMAException(Exception):
+    """Permanent R-GMA failure (bad SQL, unknown table, closed resource)."""
+
+
+class RGMATemporaryException(RGMAException):
+    """Transient failure the caller may retry (server overloaded, OOM)."""

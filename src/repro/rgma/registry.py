@@ -1,0 +1,218 @@
+"""Registry + mediator, and the R-GMA calibration constants.
+
+"Producers and consumers register their addresses in the registry.  Data
+must be disseminated via the producer and consumer to reach destination"
+(paper §II.A).  The registry records producer and consumer resources; the
+*mediator* periodically matches continuous queries to producers and attaches
+streams.  The mediation delay is the mechanism behind the paper's warm-up
+finding: "when creating a large number of Primary Producers, each thread
+must wait for a short time (5 ~ 10 seconds) before publishing data otherwise
+data will probably be lost.  This is probably because it took some time for
+the producer to look for the consumer" (§III.F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import count
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.rgma.consumer import ConsumerResource
+    from repro.rgma.producer import ProducerResourceBase
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class RGMAConfig:
+    """Calibration constants for the R-GMA model.
+
+    Chosen so headline figures land in the paper's ranges (EXPERIMENTS.md):
+    RTT of one to two seconds growing with connection count (Fig 11), >99 %
+    of messages within ~4000 ms (§III.F.1), an out-of-memory wall below 800
+    producers on one server, ~35 s delays through the Secondary Producer
+    (Fig 10), and ~0.2 % loss when producers publish without warm-up.
+
+    Era-plausibility: ~12 ms of consumer-side CPU per tuple ≈ 80 tuples/s
+    per server — consistent with published R-GMA gLite throughput on
+    sub-GHz hardware, where each tuple crosses servlet, SOAP and SQL layers.
+    """
+
+    # -- per-operation CPU (seconds on the reference PIII node) ------------
+    #: PP servlet: parse INSERT, validate, store.
+    insert_cpu: float = 0.004
+    #: Consumer resource: per-tuple mediation/SQL/servlet processing.
+    consumer_tuple_cpu: float = 0.0085
+    #: Producer-side per-tuple cost when assembling a stream batch.
+    stream_tuple_cpu: float = 0.001
+    #: One-shot query handling (latest/history) fixed cost...
+    query_cpu: float = 0.008
+    #: ...plus per returned tuple.
+    query_tuple_cpu: float = 0.0008
+    #: Subscriber poll request fixed cost.
+    poll_cpu: float = 0.002
+    #: Per tuple returned to a poll.
+    poll_tuple_cpu: float = 0.001
+    #: Resource registration (producer or consumer) on the registry node.
+    registration_cpu: float = 0.015
+    #: Mediator scan cost per (consumer, producer) candidate pair.
+    mediation_pair_cpu: float = 40e-6
+
+    # -- periods ------------------------------------------------------------
+    #: Producer streams accumulated tuples to consumers on this period.
+    stream_period: float = 1.0
+    #: Mediator matching scan period (drives the warm-up requirement).
+    mediation_period: float = 2.0
+    #: Tuples inserted within this window before attach still stream
+    #: (continuous-query start overlap).
+    history_overlap: float = 1.4
+    #: Subscriber poll interval (paper: 100 ms, §III.F).
+    poll_interval: float = 0.1
+    #: The deliberate Secondary Producer republish delay (§III.F.3).
+    secondary_producer_delay: float = 30.0
+
+    # -- retention (paper §III.F) -------------------------------------------
+    latest_retention: float = 30.0
+    history_retention: float = 60.0
+
+    # -- servlet container / JVM --------------------------------------------
+    heap_bytes: float = 1024 * 1024 * 1024
+    thread_stack_bytes: float = 256 * 1024
+    native_budget_bytes: float = 900 * 1024 * 1024
+    #: Tomcat connector limit (paper: "increased to 1000").
+    max_connections: int = 1000
+    #: Concurrent servlet worker threads actually processing requests.
+    worker_threads: int = 24
+    #: Heap per keep-alive client connection (Tomcat buffers + session).
+    per_connection_heap: float = 220 * 1024
+    #: Server-side heap per Primary Producer resource.
+    per_producer_heap: float = 1.1 * 1024 * 1024
+    #: Server-side heap per Consumer resource.
+    per_consumer_heap: float = 1.6 * 1024 * 1024
+
+    # -- wire ----------------------------------------------------------------
+    #: HTTP/SOAP envelope around an INSERT.
+    insert_envelope_bytes: int = 260
+    #: Envelope per streamed batch and per tuple inside it.
+    stream_batch_overhead_bytes: int = 120
+    stream_tuple_overhead_bytes: int = 32
+
+    def with_(self, **changes) -> "RGMAConfig":
+        return replace(self, **changes)
+
+
+_entry_ids = count(1)
+
+
+@dataclass
+class ProducerEntry:
+    producer_id: str
+    table: str
+    resource: "ProducerResourceBase"
+    is_secondary: bool
+    register_time: float
+    visible: bool = False  # becomes True at the first mediation scan
+
+
+@dataclass
+class ConsumerEntry:
+    consumer_id: str
+    table: str
+    resource: "ConsumerResource"
+    producer_type: Optional[str]  # None | "primary" | "secondary"
+    register_time: float
+    visible: bool = False
+
+
+class Registry:
+    """The registry service plus its periodic mediator.
+
+    Runs on a designated node; registration and mediation charge that
+    node's CPU.  Matching is by table name and (optionally) producer type;
+    WHERE-predicate evaluation happens at the producer when streaming
+    (content-based filtering).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        schema: Any = None,
+        config: Optional[RGMAConfig] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.schema = schema
+        self.config = config or RGMAConfig()
+        self.producers: dict[str, ProducerEntry] = {}
+        self.consumers: dict[str, ConsumerEntry] = {}
+        self.mediation_scans = 0
+        self.attachments = 0
+        self._running = True
+        sim.process(self._mediator_loop(), name="rgma.mediator")
+
+    # -------------------------------------------------------- registration
+    def register_producer(
+        self, resource: "ProducerResourceBase", is_secondary: bool = False
+    ) -> Generator[Any, Any, str]:
+        yield from self.node.execute(self.config.registration_cpu)
+        producer_id = f"{'sp' if is_secondary else 'pp'}-{next(_entry_ids)}"
+        self.producers[producer_id] = ProducerEntry(
+            producer_id=producer_id,
+            table=resource.table_name,
+            resource=resource,
+            is_secondary=is_secondary,
+            register_time=self.sim.now,
+        )
+        return producer_id
+
+    def register_consumer(
+        self,
+        resource: "ConsumerResource",
+        producer_type: Optional[str] = None,
+    ) -> Generator[Any, Any, str]:
+        yield from self.node.execute(self.config.registration_cpu)
+        consumer_id = f"cons-{next(_entry_ids)}"
+        self.consumers[consumer_id] = ConsumerEntry(
+            consumer_id=consumer_id,
+            table=resource.table_name,
+            resource=resource,
+            producer_type=producer_type,
+            register_time=self.sim.now,
+        )
+        return consumer_id
+
+    def deregister_producer(self, producer_id: str) -> None:
+        self.producers.pop(producer_id, None)
+
+    def deregister_consumer(self, consumer_id: str) -> None:
+        entry = self.consumers.pop(consumer_id, None)
+        if entry is not None:
+            for p in self.producers.values():
+                p.resource.detach_consumer(entry.resource)
+
+    # ------------------------------------------------------------ mediator
+    def _mediator_loop(self) -> Generator[Any, Any, None]:
+        cfg = self.config
+        while self._running:
+            yield self.sim.timeout(cfg.mediation_period)
+            self.mediation_scans += 1
+            pairs = len(self.producers) * max(1, len(self.consumers))
+            yield from self.node.execute(cfg.mediation_pair_cpu * pairs)
+            for consumer in self.consumers.values():
+                for producer in self.producers.values():
+                    if producer.table != consumer.table:
+                        continue
+                    if consumer.producer_type == "primary" and producer.is_secondary:
+                        continue
+                    if (
+                        consumer.producer_type == "secondary"
+                        and not producer.is_secondary
+                    ):
+                        continue
+                    if producer.resource.attach_consumer(consumer.resource):
+                        self.attachments += 1
+
+    def stop(self) -> None:
+        self._running = False

@@ -1,0 +1,170 @@
+"""A Tomcat-like servlet container.
+
+"R-GMA server ran within Tomcat.  The number of concurrent connection of
+Tomcat was increased to 1000.  Memory allocated to Java Virtual Machine was
+increased to 1GB" (paper §III.F).  The container enforces a connector
+connection limit, serves requests from a bounded worker pool (queueing under
+load), and charges heap per connection — together these produce the paper's
+R-GMA scalability behaviour, including the out-of-memory wall below 800
+concurrent producers on one server.
+
+The container also owns the *stream port*: R-GMA tuple streaming bypasses
+HTTP ("except data streaming which is implemented in a more efficient way",
+§II.A) and arrives on a raw TCP listener that dispatches batches to consumer
+resources.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.cluster.jvm import Jvm, OutOfMemoryError
+from repro.rgma.errors import RGMAException, RGMATemporaryException
+from repro.rgma.registry import RGMAConfig
+from repro.sim import Resource
+from repro.transport.base import EOF, Channel, ChannelClosed
+from repro.transport.http import HttpRequest, HttpServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.sim.kernel import Simulator
+
+#: A servlet handler: generator(request) -> (status, body, body_bytes).
+Handler = Callable[[HttpRequest], Generator[Any, Any, tuple[int, Any, float]]]
+
+
+class ServletContainer:
+    """One Tomcat instance on one node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        name: str,
+        config: Optional[RGMAConfig] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.name = name
+        self.config = config or RGMAConfig()
+        self.jvm = Jvm(
+            sim,
+            node,
+            f"{name}.jvm",
+            heap_bytes=self.config.heap_bytes,
+            thread_stack_bytes=self.config.thread_stack_bytes,
+            native_budget_bytes=self.config.native_budget_bytes,
+        )
+        self.workers = Resource(sim, self.config.worker_threads)
+        self._servlets: dict[str, Handler] = {}
+        self.connections = 0
+        self.connections_refused = 0
+        self.requests = 0
+        #: Raw-stream batch sink, set by the consumer-side wiring.
+        self.stream_sink: Optional[Callable[[Any], Generator]] = None
+        self._http: Optional[HttpServer] = None
+        #: Transport + port the stream listener is bound to (if any).
+        self.transport: Optional[Any] = None
+        self.stream_port: Optional[int] = None
+        #: Outbound stream channels to other containers, keyed by (host, port).
+        self._stream_channels: dict[tuple[str, int], Channel] = {}
+
+    # -------------------------------------------------------------- servlets
+    def deploy(self, path: str, handler: Handler) -> None:
+        if path in self._servlets:
+            raise RGMAException(f"servlet already deployed at {path!r}")
+        self._servlets[path] = handler
+
+    def start(self, transport: Any, port: int) -> None:
+        self._http = HttpServer(
+            self.sim,
+            transport,
+            self.node,
+            port,
+            dispatcher=self._dispatch,
+            accept_hook=self._accept,
+        )
+
+    def start_stream_listener(self, transport: Any, port: int) -> None:
+        """Raw TCP listener for inter-resource tuple streaming."""
+        self.transport = transport
+        self.stream_port = port
+        transport.listen(self.node, port, self._accept_stream)
+
+    def stream_channel_to(
+        self, other: "ServletContainer"
+    ) -> Generator[Any, Any, Channel]:
+        """A (cached) raw TCP channel to another container's stream port."""
+        if other.stream_port is None or other.transport is None:
+            raise RGMAException(f"{other.name} has no stream listener")
+        key = (other.node.name, other.stream_port)
+        channel = self._stream_channels.get(key)
+        if channel is None or channel.closed:
+            channel = yield from other.transport.connect(
+                self.node, other.node.name, other.stream_port
+            )
+            self._stream_channels[key] = channel
+        return channel
+
+    # ---------------------------------------------------------------- accept
+    def _accept(self, channel: Channel) -> None:
+        if self.connections >= self.config.max_connections:
+            self.connections_refused += 1
+            raise RGMATemporaryException(
+                f"{self.name}: connector limit {self.config.max_connections}"
+            )
+        try:
+            self.jvm.alloc(self.config.per_connection_heap, "connection")
+        except OutOfMemoryError as exc:
+            self.connections_refused += 1
+            raise ChannelClosed(f"{self.name} out of memory: {exc}") from exc
+        self.connections += 1
+
+    def _accept_stream(self, channel: Channel) -> None:
+        self.jvm.spawn_thread(
+            self._stream_read_loop(channel), name=f"{self.name}.stream"
+        )
+
+    def _stream_read_loop(self, channel: Channel) -> Generator[Any, Any, None]:
+        while True:
+            delivery = yield channel.receive()
+            if delivery.payload is EOF:
+                return
+            yield from self.node.execute(
+                channel.cost_model.recv_cost(delivery.nbytes)
+            )
+            if self.stream_sink is not None:
+                yield from self.stream_sink(delivery.payload)
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, request: HttpRequest, respond: Callable[..., None]) -> None:
+        self.sim.process(self._serve(request, respond), name=f"{self.name}.req")
+
+    def _serve(
+        self, request: HttpRequest, respond: Callable[..., None]
+    ) -> Generator[Any, Any, None]:
+        handler = self._match(request.path)
+        if handler is None:
+            respond(404, {"error": f"no servlet at {request.path}"}, 80)
+            return
+        yield self.workers.acquire()
+        try:
+            self.requests += 1
+            try:
+                status, body, nbytes = yield from handler(request)
+            except RGMAException as exc:
+                status, body, nbytes = 500, {"error": str(exc)}, 120
+            except OutOfMemoryError as exc:
+                status, body, nbytes = 503, {"error": f"OOM: {exc}"}, 120
+            respond(status, body, nbytes)
+        finally:
+            self.workers.release()
+
+    def _match(self, path: str) -> Optional[Handler]:
+        # Longest-prefix match lets one servlet own a path subtree.
+        best = None
+        best_len = -1
+        for prefix, handler in self._servlets.items():
+            if path.startswith(prefix) and len(prefix) > best_len:
+                best, best_len = handler, len(prefix)
+        return best

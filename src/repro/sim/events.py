@@ -1,0 +1,211 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence at a point in simulated time.
+Processes wait on events by ``yield``-ing them; the kernel resumes the process
+when the event is *processed* (its callbacks run).
+
+Lifecycle::
+
+    pending  --succeed()/fail()-->  triggered  --kernel pop-->  processed
+
+Composite conditions (:class:`AnyOf` / :class:`AllOf`) build fan-in waits from
+child events, mirroring the small set of combinators middleware code actually
+needs (wait for ack *or* timeout; wait for all fragments).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.kernel import Simulator
+
+#: Sentinel for "event has no value yet".
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a JVM OutOfMemory fault object).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupt({self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked (with this event) when the event is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._processed: bool = False
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the kernel queue."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when it failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failed event as handled so the kernel does not re-raise it."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+    # -- kernel hook -------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks.  Called exactly once by the kernel."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units after creation.
+
+    The workhorse of every timed behaviour in the models: link serialisation
+    time, CPU service time, publish intervals, poll intervals.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative Timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Condition(Event):
+    """Wait for a boolean combination of child events.
+
+    The condition's value is a dict mapping each *processed* child event to
+    its value, so waiters can see which of the children fired.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        if self._evaluate(len(self._events), 0):
+            # Degenerate condition (e.g. AllOf over zero events).
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event._processed:
+                self._on_child(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e._processed and e._ok}
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggered as soon as any child event is processed."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, lambda total, done: done > 0 or total == 0, events)
+
+
+class AllOf(Condition):
+    """Triggered once every child event is processed."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, lambda total, done: done == total, events)

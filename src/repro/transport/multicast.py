@@ -1,0 +1,97 @@
+"""IP-multicast-style one-to-many datagram fan-out.
+
+NaradaBrokering lists multicast among its transports (paper §II.B); the
+paper's experiments do not exercise it, but the extension benches use it to
+contrast broker-mediated dissemination with network-level fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.cluster.network import FRAME_OVERHEAD_UDP
+from repro.transport.base import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.network import Lan
+    from repro.cluster.node import Node
+    from repro.sim.kernel import Simulator
+
+
+class MulticastGroup:
+    """A multicast group address with subscribing hosts.
+
+    A send costs the sender one transmission (the switch replicates frames),
+    but each member's receive path is modelled individually, so a slow or
+    congested member still sees queueing delay and may drop.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        lan: "Lan",
+        address: str,
+        cost_model: Optional[CostModel] = None,
+        loss_probability: float = 0.0,
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.address = address
+        self.cost_model = cost_model or CostModel()
+        self.loss_probability = loss_probability
+        self._members: dict[str, Callable[[Any, float], None]] = {}
+
+    def join(self, node: "Node", handler: Callable[[Any, float], None]) -> None:
+        """Subscribe ``node``; ``handler(payload, latency)`` runs on delivery."""
+        self._members[node.name] = handler
+
+    def leave(self, node: "Node") -> None:
+        self._members.pop(node.name, None)
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)
+
+    def send(
+        self, sender: "Node", payload: Any, nbytes: float
+    ) -> Generator[Any, Any, int]:
+        """Publish to the group; returns number of members reached.
+
+        The sender pays one CPU + one NIC serialisation; receivers that drop
+        (loss or buffer overflow) are simply not counted.
+        """
+        yield from sender.execute(self.cost_model.send_cost(nbytes))
+        sent_at = self.sim.now
+        wire = self.lan.wire_bytes(nbytes, FRAME_OVERHEAD_UDP)
+        frags = self.lan.frame_count(nbytes)
+        # One transmit-side serialisation regardless of group size: the
+        # switch replicates the frames to member ports.
+        tx_done = self.lan.tx_link(sender.name).serialize(wire, droppable=True)
+        if tx_done is None:
+            return 0
+        reached = 0
+        for host, handler in list(self._members.items()):
+            if host == sender.name:
+                continue
+            p_msg = 1.0 - (1.0 - self.loss_probability) ** frags
+            if (
+                self.loss_probability > 0.0
+                and self.sim.rng.random(f"mcast.loss.{self.address}.{host}") < p_msg
+            ):
+                continue
+            lag = max(0.0, tx_done + self.lan.switch_latency - self.sim.now)
+            rx_done = self.lan._serialize_at(
+                self.lan.rx_link(host), wire, lag, droppable=True
+            )
+            if rx_done is None:
+                continue
+            reached += 1
+            jitter = self.sim.rng.exponential(
+                f"mcast.jitter.{sender.name}->{host}", self.lan.jitter_mean
+            )
+
+            def fire(h: Callable[[Any, float], None] = handler) -> None:
+                h(payload, self.sim.now - sent_at)
+
+            self.sim.call_at(rx_done + jitter, fire)
+        return reached

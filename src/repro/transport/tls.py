@@ -1,0 +1,70 @@
+"""TLS/SSL over TCP: the encryption overhead the paper avoided.
+
+"We did not use HTTPS because of the encryption overhead" (§III.F) — and
+NaradaBrokering lists SSL among its transports (§II.B).  On a Pentium III,
+an RSA handshake costs tens of milliseconds and symmetric encryption a few
+tens of nanoseconds per byte on each side; both are modelled here so the
+avoided overhead can be measured (`ablation_rgma_https`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.transport.base import CostModel
+from repro.transport.tcp import TcpChannel, TcpTransport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.transport.base import Channel
+
+#: Asymmetric-crypto CPU per handshake side (RSA-1024 on a PIII ~ tens of ms).
+TLS_HANDSHAKE_CPU = 0.045
+#: Extra handshake bytes (ClientHello/ServerHello/certificate/key exchange).
+TLS_HANDSHAKE_BYTES = 2600
+#: Symmetric encrypt/decrypt CPU per byte per side (3DES-era software crypto).
+TLS_PER_BYTE_CPU = 90e-9
+#: TLS record framing overhead per message.
+TLS_RECORD_OVERHEAD = 29
+
+
+class TlsChannel(TcpChannel):
+    """TCP channel with per-byte crypto charged on both ends."""
+
+    def send(self, payload: Any, nbytes: float) -> Generator[Any, Any, Any]:
+        # Encrypt cost on the sender before the normal TCP path; the
+        # receiver's decrypt cost piggybacks on delivery.
+        yield from self.node.execute(TLS_PER_BYTE_CPU * nbytes)
+        event = yield from super().send(payload, nbytes + TLS_RECORD_OVERHEAD)
+        return event
+
+    def _deliver(self, payload: Any, nbytes: float, sent_at: float) -> None:
+        # Decrypt: charged as a fire-and-forget CPU job on the receiving
+        # node (the reading thread additionally pays its normal recv cost).
+        self.node.execute_process(TLS_PER_BYTE_CPU * nbytes)
+        super()._deliver(payload, nbytes, sent_at)
+
+
+class TlsTransport(TcpTransport):
+    """TCP + TLS handshake + per-byte encryption."""
+
+    channel_class = TlsChannel
+
+    def connect(
+        self, client_node: "Node", server_host: str, port: int
+    ) -> Generator[Any, Any, "Channel"]:
+        channel = yield from super().connect(client_node, server_host, port)
+        # TLS handshake: certificate exchange bytes + asymmetric crypto on
+        # both sides (serialised: client waits for the server's part).
+        server_node = channel.peer.node
+        hello = self.lan.transmit(
+            client_node.name, server_host, TLS_HANDSHAKE_BYTES
+        )
+        assert hello is not None
+        yield hello
+        yield from server_node.execute(TLS_HANDSHAKE_CPU)
+        done = self.lan.transmit(server_host, client_node.name, 220)
+        assert done is not None
+        yield done
+        yield from client_node.execute(TLS_HANDSHAKE_CPU)
+        return channel

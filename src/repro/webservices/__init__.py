@@ -1,0 +1,20 @@
+"""Web Services layer: SOAP encoding and the WS publishing proxy.
+
+The paper deliberately did *not* test over Web Services: "Web Services are
+known to be slow and not suitable for high performance scientific
+computing.  The serialization and de-serialization of XML and floating
+point value/ASCII conversion are the bottlenecks.  The interoperability
+issue can be compensated by introducing a proxy that has a Web Services
+interface" (§III.D, citing Chiu et al. [9] and the GRIDCC Instrument
+Element [3]).
+
+This package makes that argument measurable: :mod:`repro.webservices.codec`
+models XML expansion and float/ASCII conversion costs;
+:mod:`repro.webservices.proxy` is the compensating proxy — a SOAP/HTTP
+front-end that republishes into the native broker.
+"""
+
+from repro.webservices.codec import SoapCodec
+from repro.webservices.proxy import WsPublishProxy, WsPublisherClient
+
+__all__ = ["SoapCodec", "WsPublishProxy", "WsPublisherClient"]

@@ -1,0 +1,88 @@
+"""The Web Services publishing proxy (paper §III.D / GRIDCC [3]).
+
+Instruments that only speak SOAP POST their readings to the proxy over
+HTTP; the proxy decodes the envelope (paying the XML + float-conversion
+CPU) and republishes natively into the broker.  Comparing this path to
+direct JMS publishing quantifies exactly what the paper chose to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.jms.destination import Topic
+from repro.transport.http import HttpClient, HttpRequest, HttpServer
+from repro.webservices.codec import SoapCodec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.jms.connection import Connection
+    from repro.sim.kernel import Simulator
+
+
+class WsPublishProxy:
+    """SOAP/HTTP front-end on one node, republishing into a JMS connection."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        transport: Any,
+        port: int,
+        jms_connection: "Connection",
+        topic: Topic,
+    ):
+        self.sim = sim
+        self.node = node
+        self.topic = topic
+        self.codec = SoapCodec()
+        self._session = jms_connection.create_session()
+        self._producer = self._session.create_publisher(topic)
+        self.published = 0
+        self._server = HttpServer(
+            sim, transport, node, port, dispatcher=self._dispatch
+        )
+
+    def _dispatch(self, request: HttpRequest, respond: Any) -> None:
+        self.sim.process(self._serve(request, respond), name="ws.proxy")
+
+    def _serve(self, request: HttpRequest, respond: Any) -> Generator[Any, Any, None]:
+        message = request.body["message"]
+        encoding = request.body["encoding"]
+        # Decode the SOAP envelope: XML parse + float/ASCII conversion.
+        yield from self.node.execute(encoding.decode_cpu)
+        yield from self._producer.publish(message)
+        self.published += 1
+        respond(200, {"ok": True}, 160)
+
+
+class WsPublisherClient:
+    """A SOAP-only instrument: encodes each reading and POSTs it."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        transport: Any,
+        node: "Node",
+        proxy_host: str,
+        port: int,
+    ):
+        self.sim = sim
+        self.node = node
+        self.codec = SoapCodec()
+        self.http = HttpClient(sim, transport, node, proxy_host, port)
+
+    def publish(self, message: Any) -> Generator[Any, Any, float]:
+        """Encode + POST one message; returns the round-trip latency."""
+        encoding = self.codec.encode(message)
+        # Client-side serialisation cost.
+        yield from self.node.execute(encoding.encode_cpu)
+        started = self.sim.now
+        response = yield from self.http.request(
+            "/ws/publish",
+            {"message": message, "encoding": encoding},
+            encoding.xml_bytes,
+        )
+        if response.status != 200:
+            raise RuntimeError(f"proxy error: {response.body}")
+        return self.sim.now - started

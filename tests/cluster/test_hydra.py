@@ -1,0 +1,33 @@
+"""Tests for the Hydra cluster factory (paper Table I)."""
+
+from repro.cluster import HYDRA_SPEC, HydraCluster
+from repro.sim import Simulator
+
+
+def test_eight_nodes_created():
+    sim = Simulator()
+    cluster = HydraCluster(sim)
+    assert len(cluster) == 8
+    assert cluster.node_names() == [f"hydra{i}" for i in range(1, 9)]
+
+
+def test_nodes_attached_to_lan():
+    sim = Simulator()
+    cluster = HydraCluster(sim)
+    assert cluster.lan.hosts() == sorted(f"hydra{i}" for i in range(1, 9))
+
+
+def test_spec_matches_table_one():
+    assert HYDRA_SPEC.node_count == 8
+    assert HYDRA_SPEC.memory_bytes == 2 * 1024**3
+    assert HYDRA_SPEC.lan_bandwidth_bps == 100e6
+    assert "866" in HYDRA_SPEC.cpu
+    assert "1.4.2" in HYDRA_SPEC.jvm
+
+
+def test_transfer_between_hydra_nodes():
+    sim = Simulator(seed=2)
+    cluster = HydraCluster(sim)
+    ev = cluster.lan.transmit("hydra1", "hydra8", 10_000)
+    sim.run()
+    assert ev.value > 0

@@ -1,0 +1,132 @@
+"""Tests for the JVM model: heap, threads, GC, OOM walls."""
+
+import pytest
+
+from repro.cluster import Jvm, Node, OutOfMemoryError
+from repro.cluster.jvm import MiB
+from repro.sim import Simulator
+
+
+def make_jvm(**kw):
+    sim = Simulator()
+    node = Node(sim, "n1")
+    jvm = Jvm(sim, node, "jvm1", **kw)
+    return sim, node, jvm
+
+
+def test_alloc_free_tracks_heap():
+    sim, node, jvm = make_jvm()
+    jvm.alloc(10 * MiB)
+    assert jvm.heap_used == 10 * MiB
+    jvm.free(4 * MiB)
+    assert jvm.heap_used == 6 * MiB
+    assert jvm.heap_high_water == 10 * MiB
+
+
+def test_heap_exhaustion_raises_oom_and_kills_jvm():
+    sim, node, jvm = make_jvm(heap_bytes=10 * MiB)
+    jvm.alloc(9 * MiB)
+    with pytest.raises(OutOfMemoryError, match="heap space"):
+        jvm.alloc(2 * MiB)
+    assert jvm.dead
+    assert jvm.full_gcs == 1
+    with pytest.raises(OutOfMemoryError, match="already dead"):
+        jvm.alloc(1)
+
+
+def test_thread_stack_budget_enforced():
+    sim, node, jvm = make_jvm(
+        native_budget_bytes=1 * MiB, thread_stack_bytes=256 * 1024
+    )
+    assert jvm.max_threads == 4
+
+    def worker():
+        yield sim.timeout(100.0)
+
+    for _ in range(4):
+        jvm.spawn_thread(worker())
+    with pytest.raises(OutOfMemoryError, match="native thread"):
+        jvm.spawn_thread(worker())
+    assert jvm.thread_count == 4
+
+
+def test_thread_exit_releases_stack():
+    sim, node, jvm = make_jvm(
+        native_budget_bytes=512 * 1024, thread_stack_bytes=256 * 1024
+    )
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    jvm.spawn_thread(quick())
+    jvm.spawn_thread(quick())
+    assert jvm.thread_count == 2
+    sim.run()
+    assert jvm.thread_count == 0
+    assert jvm.threads_peak == 2
+    # Budget is free again.
+    jvm.spawn_thread(quick())
+
+
+def test_minor_gc_triggers_on_allocation_volume():
+    sim, node, jvm = make_jvm(young_gen_bytes=1 * MiB)
+    for _ in range(10):
+        jvm.alloc(0.3 * MiB)
+        jvm.free(0.3 * MiB)
+    assert jvm.minor_gcs >= 2
+
+
+def test_gc_pause_seizes_cpu():
+    """A GC pause delays unrelated CPU work on the same node."""
+    sim, node, jvm = make_jvm(
+        young_gen_bytes=1 * MiB, gc_minor_base=0.5, gc_minor_per_live=0.0
+    )
+    jvm.alloc(2 * MiB)  # triggers a 0.5 s pause process
+    assert jvm.minor_gcs == 1
+
+    def probe():
+        yield from node.execute(0.001)
+        return sim.now
+
+    assert sim.run_process(probe()) >= 0.5
+
+
+def test_committed_bytes_counts_high_water_and_stacks():
+    sim, node, jvm = make_jvm(thread_stack_bytes=256 * 1024)
+    base = jvm.committed_bytes
+    jvm.alloc(50 * MiB)
+    jvm.free(50 * MiB)
+
+    def worker():
+        yield sim.timeout(10.0)
+
+    jvm.spawn_thread(worker())
+    assert jvm.committed_bytes == base + 50 * MiB + 256 * 1024
+
+
+def test_negative_alloc_free_rejected():
+    sim, node, jvm = make_jvm()
+    with pytest.raises(ValueError):
+        jvm.alloc(-1)
+    with pytest.raises(ValueError):
+        jvm.free(-1)
+
+
+def test_spawn_on_dead_jvm_rejected():
+    sim, node, jvm = make_jvm(heap_bytes=1 * MiB)
+    with pytest.raises(OutOfMemoryError):
+        jvm.alloc(2 * MiB)
+
+    def worker():
+        yield sim.timeout(1.0)
+
+    with pytest.raises(OutOfMemoryError, match="already dead"):
+        jvm.spawn_thread(worker())
+
+
+def test_default_jvm_hits_wall_between_3000_and_4000_threads():
+    """Paper §III.E.2: a single Narada broker (1 GiB heap) cannot serve 4000
+    connections; Fig 8 shows it serving 3000.  The default native budget and
+    stack size must place the wall in that window."""
+    sim, node, jvm = make_jvm()
+    assert 3000 < jvm.max_threads < 4000

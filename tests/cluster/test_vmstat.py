@@ -1,0 +1,93 @@
+"""Tests for the vmstat sampler."""
+
+import pytest
+
+from repro.cluster import Jvm, Node, VmStat
+from repro.cluster.jvm import MiB
+from repro.sim import Simulator
+
+
+def test_idle_node_reports_full_idle():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    vm = VmStat(sim, node, interval=1.0)
+    sim.run(until=10.0)
+    vm.stop()
+    s = vm.summary()
+    assert s.mean_cpu_idle_percent == pytest.approx(100.0)
+    assert s.samples == 10
+
+
+def test_busy_node_reports_reduced_idle():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    vm = VmStat(sim, node, interval=1.0)
+
+    def load():
+        # 50% duty cycle: 0.5s work then 0.5s sleep, repeatedly.
+        while sim.now < 20.0:
+            yield from node.execute(0.5)
+            yield sim.timeout(0.5)
+
+    sim.process(load())
+    sim.run(until=20.0)
+    s = vm.summary()
+    assert 40.0 < s.mean_cpu_idle_percent < 60.0
+
+
+def test_memory_consumption_peak_minus_bottom():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    jvm = Jvm(sim, node, "j")
+    vm = VmStat(sim, node, interval=1.0)
+
+    def churn():
+        yield sim.timeout(2.5)
+        jvm.alloc(100 * MiB)
+        yield sim.timeout(5.0)
+
+    sim.process(churn())
+    sim.run(until=10.0)
+    s = vm.summary()
+    assert s.memory_consumption_bytes == pytest.approx(100 * MiB)
+    assert s.memory_consumption_mb == pytest.approx(100.0)
+
+
+def test_warmup_excludes_early_samples():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    vm = VmStat(sim, node, interval=1.0)
+
+    def early_load():
+        yield from node.execute(3.0)  # busy only during first 3 s
+
+    sim.process(early_load())
+    sim.run(until=20.0)
+    s = vm.summary(warmup=5.0)
+    assert s.mean_cpu_idle_percent == pytest.approx(100.0)
+
+
+def test_empty_summary():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    vm = VmStat(sim, node, interval=1.0)
+    s = vm.summary()
+    assert s.samples == 0
+    assert s.mean_cpu_idle_percent == 100.0
+
+
+def test_invalid_interval():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    with pytest.raises(ValueError):
+        VmStat(sim, node, interval=0.0)
+
+
+def test_stop_halts_sampling():
+    sim = Simulator()
+    node = Node(sim, "n1")
+    vm = VmStat(sim, node, interval=1.0)
+    sim.run(until=3.0)
+    vm.stop()
+    sim.run(until=10.0)
+    assert len(vm.samples) <= 4

@@ -1,0 +1,30 @@
+"""Tests for ExperimentResult JSON export."""
+
+import json
+
+from repro.core.experiment import ExperimentResult
+
+
+def make_result():
+    r = ExperimentResult("figX", "Title", "conns", "ms")
+    r.add_point("RTT", 500, 3.2)
+    r.add_point("RTT", 1000, 4.1, stddev=1.2)
+    r.table = (["a", "b"], [[1, 2.5]])
+    r.note("a note")
+    return r
+
+
+def test_to_dict_round_trips_through_json():
+    d = make_result().to_dict()
+    encoded = json.dumps(d)
+    decoded = json.loads(encoded)
+    assert decoded["experiment_id"] == "figX"
+    assert decoded["series"]["RTT"][0] == {"x": 500, "y": 3.2}
+    assert decoded["series"]["RTT"][1]["extra"] == {"stddev": 1.2}
+    assert decoded["table"]["rows"] == [[1, 2.5]]
+    assert decoded["notes"] == ["a note"]
+
+
+def test_to_dict_without_table():
+    r = ExperimentResult("figY", "T", "x", "y")
+    assert r.to_dict()["table"] is None

@@ -1,0 +1,126 @@
+"""Tests for the measurement core: records, metrics, decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MessageRecord,
+    RecordBook,
+    decompose,
+    loss_rate,
+    percentile_curve,
+    rtt_stats,
+)
+from repro.core.metrics import soft_realtime_compliance, within_threshold
+
+
+def make_book(rtts, lost=0):
+    book = RecordBook()
+    for i, rtt in enumerate(rtts):
+        r = book.new_record(gen_id=i, seq=1, t_before_send=float(i))
+        r.t_after_send = r.t_before_send + 0.001
+        r.t_arrived = r.t_before_send + rtt - 0.0005
+        r.t_received = r.t_before_send + rtt
+    for i in range(lost):
+        book.new_record(gen_id=1000 + i, seq=1, t_before_send=0.0)
+    return book
+
+
+def test_rtt_stats_mean_and_stddev():
+    book = make_book([0.010, 0.020, 0.030])
+    stats = rtt_stats(book)
+    assert stats.count == 3
+    assert stats.mean_ms == pytest.approx(20.0)
+    assert stats.stddev_ms == pytest.approx(np.std([10, 20, 30]))
+    assert stats.min_ms == pytest.approx(10.0)
+    assert stats.max_ms == pytest.approx(30.0)
+    assert stats.loss_rate == 0.0
+
+
+def test_rtt_stats_counts_losses():
+    book = make_book([0.010] * 9, lost=1)
+    stats = rtt_stats(book)
+    assert stats.sent == 10
+    assert stats.count == 9
+    assert stats.loss_rate == pytest.approx(0.1)
+
+
+def test_rtt_stats_since_cut():
+    book = make_book([0.010, 0.020, 0.030])  # sent at t=0,1,2
+    stats = rtt_stats(book, since=1.5)
+    assert stats.count == 1
+    assert stats.mean_ms == pytest.approx(30.0)
+
+
+def test_rtt_stats_empty():
+    stats = rtt_stats(RecordBook())
+    assert stats.count == 0
+    assert np.isnan(stats.mean_ms)
+
+
+def test_loss_rate():
+    assert loss_rate(144000, 143914) == pytest.approx(0.0006, rel=0.01)
+    assert loss_rate(0, 0) == 0.0
+    with pytest.raises(ValueError):
+        loss_rate(5, 6)
+
+
+def test_percentile_curve_monotone_and_anchored():
+    rtts = np.linspace(0.001, 0.100, 1000)
+    curve = percentile_curve(rtts)
+    pcts = [p for p, _ in curve]
+    values = [v for _, v in curve]
+    assert pcts == [95.0, 96.0, 97.0, 98.0, 99.0, 100.0]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(100.0)  # 100th pct == max, in ms
+
+
+def test_percentile_curve_empty():
+    curve = percentile_curve([])
+    assert all(np.isnan(v) for _, v in curve)
+
+
+def test_within_threshold():
+    rtts = [0.01, 0.05, 0.2]
+    assert within_threshold(rtts, 0.1) == pytest.approx(2 / 3)
+
+
+def test_decompose_sums_to_rtt():
+    book = make_book([0.010, 0.030])
+    phases = decompose(book)
+    stats = rtt_stats(book)
+    assert phases.rtt_ms == pytest.approx(stats.mean_ms)
+    assert phases.prt_ms == pytest.approx(1.0)
+    assert phases.srt_ms == pytest.approx(0.5)
+    assert phases.pt_ms > 0
+
+
+def test_record_properties_raise_when_incomplete():
+    r = MessageRecord(gen_id=1, seq=1, t_before_send=0.0)
+    assert not r.delivered
+    with pytest.raises(ValueError):
+        _ = r.rtt
+    with pytest.raises(ValueError):
+        _ = r.prt
+
+
+def test_soft_realtime_compliance():
+    book = make_book([0.5, 1.0, 2.0])
+    ok, frac, loss = soft_realtime_compliance(book, deadline_s=5.0)
+    assert ok and frac == 0.0 and loss == 0.0
+    book2 = make_book([0.5, 6.0], lost=1)
+    ok2, frac2, loss2 = soft_realtime_compliance(book2, deadline_s=5.0)
+    assert not ok2
+    assert frac2 == pytest.approx(2 / 3)
+    assert loss2 == pytest.approx(1 / 3)
+
+
+def test_record_book_merge_and_after():
+    a = make_book([0.01])
+    b = make_book([0.02])
+    a.merge(b)
+    assert a.sent_count == 2
+    cut = a.after(0.5)
+    assert cut.sent_count == 0 or all(
+        r.t_before_send >= 0.5 for r in cut.records
+    )

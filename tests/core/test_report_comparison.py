@@ -1,0 +1,87 @@
+"""Tests for report rendering and the Table III rating derivation."""
+
+from repro.core.comparison import (
+    MiddlewareMeasurements,
+    Rating,
+    rate_middleware,
+    table_iii,
+)
+from repro.core.experiment import ExperimentResult
+from repro.core.report import render_series, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_render_table_nan_dash():
+    out = render_table(["x"], [[float("nan")]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_experiment_result_render():
+    result = ExperimentResult("fig7", "Narada scaling", "connections", "ms")
+    result.add_point("RTT", 500, 5.0)
+    result.add_point("RTT", 1000, 9.0)
+    result.add_point("STDDEV", 500, 2.0)
+    result.note("single broker OOM at 4000")
+    text = result.render()
+    assert "fig7" in text
+    assert "RTT (ms)" in text
+    assert "note: single broker OOM at 4000" in text
+
+
+def test_render_series_merges_on_x():
+    from repro.core.experiment import SeriesPoint
+
+    out = render_series(
+        "x", "y",
+        {"a": [SeriesPoint(1, 10.0)], "b": [SeriesPoint(2, 20.0)]},
+    )
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, two x rows
+
+
+# ------------------------------------------------------------------ Table III
+def narada_measurements():
+    """Values in the ranges our fig3/fig7 benches produce."""
+    return MiddlewareMeasurements(
+        name="Narada",
+        rtt_ms_light=4.0,
+        max_connections_single=3000,
+        max_connections_distributed=4000,
+        distributed_rtt_ratio=1.3,   # DBN slower (broadcast flaw)
+        distributed_idle_ratio=0.8,  # DBN busier
+    )
+
+
+def rgma_measurements():
+    return MiddlewareMeasurements(
+        name="R-GMA",
+        rtt_ms_light=1400.0,
+        max_connections_single=600,
+        max_connections_distributed=1000,
+        distributed_rtt_ratio=0.8,   # distributed faster
+        distributed_idle_ratio=1.4,  # distributed less loaded
+    )
+
+
+def test_table_iii_matches_paper_verdicts():
+    headers, rows = table_iii(rgma_measurements(), narada_measurements())
+    verdicts = {row[0]: row[1:] for row in rows}
+    assert verdicts["R-GMA"] == ["Average", "Average", "Very good"]
+    assert verdicts["Narada"] == ["Very good", "Very good", "Average"]
+
+
+def test_rating_boundaries():
+    m = narada_measurements()
+    import dataclasses
+
+    slow = dataclasses.replace(m, rtt_ms_light=10_000)
+    assert rate_middleware(slow).realtime == Rating.POOR
+    tiny = dataclasses.replace(m, max_connections_single=100)
+    assert rate_middleware(tiny).concurrency == Rating.POOR

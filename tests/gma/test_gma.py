@@ -1,0 +1,165 @@
+"""Tests for the GMA abstraction: directory service and transfer modes."""
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.gma import (
+    DirectoryService,
+    NotificationTransfer,
+    ProducerRecord,
+    PublishSubscribeTransfer,
+    QueryResponseTransfer,
+)
+from repro.sim import Simulator
+
+
+class ListProducer:
+    def __init__(self, name, address, events=()):
+        self.record = ProducerRecord(name, "producer", "gridmon", address)
+        self.events = list(events)
+
+    def events_since(self, cursor):
+        return self.events[cursor:]
+
+    def all_events(self):
+        return list(self.events)
+
+
+class ListConsumer:
+    def __init__(self, name, address):
+        self.record = ProducerRecord(name, "consumer", "gridmon", address)
+        self.got = []
+
+    def deliver(self, events):
+        self.got.extend(events)
+
+
+def setup():
+    sim = Simulator(seed=31)
+    cluster = HydraCluster(sim)
+    return sim, cluster
+
+
+# ------------------------------------------------------------------ directory
+def test_directory_publish_and_search():
+    sim, cluster = setup()
+    ds = DirectoryService(sim, cluster.node("hydra1"))
+    p = ProducerRecord("pp1", "producer", "gridmon", "hydra2")
+    c = ProducerRecord("c1", "consumer", "gridmon", "hydra3")
+
+    def run():
+        yield from ds.publish(p)
+        yield from ds.publish(c)
+        producers = yield from ds.search(kind="producer")
+        gridmon = yield from ds.search(event_type="gridmon")
+        return producers, gridmon
+
+    producers, gridmon = sim.run_process(run())
+    assert [r.name for r in producers] == ["pp1"]
+    assert {r.name for r in gridmon} == {"pp1", "c1"}
+    assert len(ds) == 2
+
+
+def test_directory_unpublish():
+    sim, cluster = setup()
+    ds = DirectoryService(sim, cluster.node("hydra1"))
+
+    def run():
+        yield from ds.publish(ProducerRecord("x", "producer", "t", "hydra2"))
+        ds.unpublish("x")
+        found = yield from ds.search()
+        return found
+
+    assert sim.run_process(run()) == []
+
+
+def test_directory_search_costs_time():
+    sim, cluster = setup()
+    ds = DirectoryService(sim, cluster.node("hydra1"))
+
+    def run():
+        t0 = sim.now
+        yield from ds.search()
+        return sim.now - t0
+
+    assert sim.run_process(run()) > 0
+
+
+def test_directory_refresh_overwrites():
+    sim, cluster = setup()
+    ds = DirectoryService(sim, cluster.node("hydra1"))
+
+    def run():
+        yield from ds.publish(ProducerRecord("x", "producer", "a", "hydra2"))
+        yield from ds.publish(ProducerRecord("x", "producer", "b", "hydra2"))
+        found = yield from ds.search(event_type="b")
+        return found
+
+    assert len(sim.run_process(run())) == 1
+
+
+# -------------------------------------------------------------- transfer modes
+def test_query_response_returns_all_in_one_response():
+    sim, cluster = setup()
+    producer = ListProducer("pp", "hydra1", events=["e1", "e2", "e3"])
+    consumer = ListConsumer("c", "hydra2")
+    qr = QueryResponseTransfer(sim, cluster.lan, producer, consumer)
+
+    def run():
+        events = yield from qr.query()
+        return events
+
+    assert sim.run_process(run()) == ["e1", "e2", "e3"]
+    assert consumer.got == ["e1", "e2", "e3"]
+
+
+def test_notification_producer_initiates():
+    sim, cluster = setup()
+    producer = ListProducer("pp", "hydra1", events=["n1", "n2"])
+    consumer = ListConsumer("c", "hydra2")
+    notify = NotificationTransfer(sim, cluster.lan, producer, consumer)
+
+    def run():
+        n = yield from notify.notify()
+        return n
+
+    assert sim.run_process(run()) == 2
+    assert consumer.got == ["n1", "n2"]
+
+
+def test_pubsub_streams_continuously_and_terminates():
+    sim, cluster = setup()
+    producer = ListProducer("pp", "hydra1")
+    consumer = ListConsumer("c", "hydra2")
+    ps = PublishSubscribeTransfer(
+        sim, cluster.lan, producer, consumer, period=1.0
+    )
+    ps.start()
+
+    def feed():
+        for i in range(5):
+            producer.events.append(f"e{i}")
+            yield sim.timeout(1.0)
+        yield sim.timeout(3.0)
+        ps.terminate()
+
+    sim.process(feed())
+    sim.run(until=20.0)
+    assert consumer.got == [f"e{i}" for i in range(5)]
+    count_at_terminate = len(consumer.got)
+    producer.events.append("late")
+    sim.run(until=30.0)
+    assert len(consumer.got) == count_at_terminate  # stream really stopped
+
+
+def test_transfer_accounts_events():
+    sim, cluster = setup()
+    producer = ListProducer("pp", "hydra1", events=["a", "b"])
+    consumer = ListConsumer("c", "hydra2")
+    notify = NotificationTransfer(sim, cluster.lan, producer, consumer)
+
+    def run():
+        yield from notify.notify()
+
+    sim.run_process(run())
+    assert notify.events_transferred == 2

@@ -1,0 +1,84 @@
+"""Shared JMS test fixtures: an in-memory loopback provider.
+
+The loopback provider implements the Provider protocol with no network or
+broker: publishes match subscriptions locally after a small configurable
+delay.  It lets the JMS API semantics be tested in isolation from
+:mod:`repro.narada`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jms.selector import parse_selector
+from repro.sim import Simulator
+
+
+class LoopbackProvider:
+    """Minimal in-process Provider: match and deliver after `delay`."""
+
+    def __init__(self, sim, delay=0.001):
+        self.sim = sim
+        self.delay = delay
+        self.subscriptions = {}  # handle -> (dest, selector, deliver)
+        self._next_handle = 0
+        self.published = []
+        self.acked = []
+        self.closed = False
+
+    def publish(self, message):
+        yield self.sim.timeout(self.delay)
+        self.published.append(message)
+        for dest, selector, deliver in list(self.subscriptions.values()):
+            if dest != message.destination:
+                continue
+            if selector is not None and not selector.matches(message):
+                continue
+            copy = message.copy()
+            copy.destination = message.destination
+
+            def fire(c=copy, d=deliver):
+                d(c)
+
+            self.sim.call_at(self.sim.now + self.delay, fire)
+
+    def subscribe(self, destination, selector_text, deliver, durable_name=None):
+        yield self.sim.timeout(self.delay)
+        handle = self._next_handle
+        self._next_handle += 1
+        self.subscriptions[handle] = (
+            destination,
+            parse_selector(selector_text),
+            deliver,
+        )
+        return handle
+
+    def unsubscribe(self, handle):
+        yield self.sim.timeout(self.delay)
+        self.subscriptions.pop(handle, None)
+
+    def ack(self, messages):
+        yield self.sim.timeout(self.delay)
+        self.acked.extend(messages)
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def provider(sim):
+    return LoopbackProvider(sim)
+
+
+@pytest.fixture
+def connection(sim, provider):
+    from repro.jms import Connection
+
+    conn = Connection(provider)
+    conn.start()
+    return conn

@@ -1,0 +1,279 @@
+"""Tests for the SQL-92 message selector engine."""
+
+import pytest
+
+from repro.jms import InvalidSelectorException, Message, Selector
+from repro.jms.selector import parse_selector
+
+
+def msg(**props):
+    m = Message()
+    for k, v in props.items():
+        m.set_property(k, v)
+    return m
+
+
+# ------------------------------------------------------------- comparisons
+@pytest.mark.parametrize(
+    "text,props,expected",
+    [
+        ("id < 10000", {"id": 5}, True),
+        ("id < 10000", {"id": 10000}, False),
+        ("id <= 10", {"id": 10}, True),
+        ("id > 3", {"id": 4}, True),
+        ("id >= 4", {"id": 4}, True),
+        ("id = 7", {"id": 7}, True),
+        ("id <> 7", {"id": 8}, True),
+        ("id <> 7", {"id": 7}, False),
+        ("price = 2.5", {"price": 2.5}, True),
+        ("name = 'alice'", {"name": "alice"}, True),
+        ("name = 'alice'", {"name": "bob"}, False),
+        ("flag = TRUE", {"flag": True}, True),
+        ("flag = FALSE", {"flag": False}, True),
+    ],
+)
+def test_simple_comparisons(text, props, expected):
+    assert Selector(text).matches(msg(**props)) is expected
+
+
+def test_paper_selector():
+    """The exact selector from §III.E: 'id<10000' filters nothing out."""
+    sel = Selector("id<10000")
+    for i in (0, 500, 9999):
+        assert sel.matches(msg(id=i))
+    assert not sel.matches(msg(id=10000))
+
+
+def test_missing_property_is_unknown_not_false_match():
+    sel = Selector("id < 10")
+    assert sel.evaluate(msg()) is None
+    assert sel.matches(msg()) is False
+
+
+def test_string_ordering_is_unknown():
+    assert Selector("name < 'zzz'").evaluate(msg(name="abc")) is None
+
+
+def test_cross_type_equality_is_unknown():
+    assert Selector("id = 'five'").evaluate(msg(id=5)) is None
+
+
+# ---------------------------------------------------------------- boolean
+def test_and_or_not():
+    sel = Selector("a > 1 AND b > 1")
+    assert sel.matches(msg(a=2, b=2))
+    assert not sel.matches(msg(a=2, b=0))
+    sel = Selector("a > 1 OR b > 1")
+    assert sel.matches(msg(a=0, b=2))
+    sel = Selector("NOT a > 1")
+    assert sel.matches(msg(a=0))
+    assert not sel.matches(msg(a=2))
+
+
+def test_three_valued_and():
+    # unknown AND false = false; unknown AND true = unknown
+    sel = Selector("missing > 1 AND b > 1")
+    assert sel.evaluate(msg(b=0)) is False
+    assert sel.evaluate(msg(b=2)) is None
+
+
+def test_three_valued_or():
+    # unknown OR true = true; unknown OR false = unknown
+    sel = Selector("missing > 1 OR b > 1")
+    assert sel.evaluate(msg(b=2)) is True
+    assert sel.evaluate(msg(b=0)) is None
+
+
+def test_not_unknown_is_unknown():
+    assert Selector("NOT missing > 1").evaluate(msg()) is None
+
+
+def test_bare_boolean_property():
+    sel = Selector("enabled")
+    assert sel.matches(msg(enabled=True))
+    assert not sel.matches(msg(enabled=False))
+    assert sel.evaluate(msg()) is None
+
+
+def test_bare_nonboolean_property_is_unknown():
+    assert Selector("id").evaluate(msg(id=5)) is None
+
+
+def test_operator_precedence_and_over_or():
+    sel = Selector("a = 1 OR b = 1 AND c = 1")
+    assert sel.matches(msg(a=1, b=0, c=0))
+    assert sel.matches(msg(a=0, b=1, c=1))
+    assert not sel.matches(msg(a=0, b=1, c=0))
+
+
+def test_parentheses_override_precedence():
+    sel = Selector("(a = 1 OR b = 1) AND c = 1")
+    assert not sel.matches(msg(a=1, b=0, c=0))
+    assert sel.matches(msg(a=1, b=0, c=1))
+
+
+# -------------------------------------------------------------- arithmetic
+def test_arithmetic_in_comparisons():
+    assert Selector("a + b = 5").matches(msg(a=2, b=3))
+    assert Selector("a - b > 0").matches(msg(a=5, b=3))
+    assert Selector("a * 2 = 10").matches(msg(a=5))
+    assert Selector("a / 2 = 2.5").matches(msg(a=5.0))
+    assert Selector("-a = -3").matches(msg(a=3))
+    assert Selector("+a = 3").matches(msg(a=3))
+
+
+def test_multiplication_binds_tighter_than_addition():
+    assert Selector("1 + 2 * 3 = 7").matches(msg())
+    assert Selector("(1 + 2) * 3 = 9").matches(msg())
+
+
+def test_division_by_zero_is_unknown():
+    assert Selector("a / 0 = 1").evaluate(msg(a=5)) is None
+
+
+def test_arithmetic_on_string_is_unknown():
+    assert Selector("a + 1 = 2").evaluate(msg(a="one")) is None
+
+
+# ----------------------------------------------------------------- BETWEEN
+def test_between():
+    sel = Selector("age BETWEEN 18 AND 65")
+    assert sel.matches(msg(age=18))
+    assert sel.matches(msg(age=65))
+    assert not sel.matches(msg(age=17))
+    sel = Selector("age NOT BETWEEN 18 AND 65")
+    assert sel.matches(msg(age=17))
+    assert not sel.matches(msg(age=30))
+
+
+def test_between_with_unknown_is_unknown():
+    assert Selector("age BETWEEN 1 AND 9").evaluate(msg()) is None
+
+
+# ---------------------------------------------------------------------- IN
+def test_in_list():
+    sel = Selector("site IN ('uk', 'fr', 'de')")
+    assert sel.matches(msg(site="uk"))
+    assert not sel.matches(msg(site="es"))
+    sel = Selector("site NOT IN ('uk')")
+    assert sel.matches(msg(site="fr"))
+    assert not sel.matches(msg(site="uk"))
+
+
+def test_in_with_missing_property_is_unknown():
+    assert Selector("site IN ('uk')").evaluate(msg()) is None
+
+
+# -------------------------------------------------------------------- LIKE
+@pytest.mark.parametrize(
+    "pattern,value,expected",
+    [
+        ("'gen%'", "generator", True),
+        ("'gen%'", "agent", False),
+        ("'%tor'", "generator", True),
+        ("'gen_rator'", "generator", True),
+        ("'gen_rator'", "genrator", False),
+        ("'12%3'", "123", True),
+        ("'12%3'", "12993", True),
+        ("'\\_%' ESCAPE '\\'", "_abc", True),
+        ("'\\_%' ESCAPE '\\'", "xabc", False),
+    ],
+)
+def test_like_patterns(pattern, value, expected):
+    sel = Selector(f"name LIKE {pattern}")
+    assert sel.matches(msg(name=value)) is expected
+
+
+def test_not_like():
+    sel = Selector("name NOT LIKE 'gen%'")
+    assert sel.matches(msg(name="agent"))
+    assert not sel.matches(msg(name="generator"))
+
+
+def test_like_on_missing_is_unknown():
+    assert Selector("name LIKE 'x%'").evaluate(msg()) is None
+
+
+def test_like_regex_metachars_are_literal():
+    sel = Selector("name LIKE 'a.b'")
+    assert not sel.matches(msg(name="axb"))
+    assert sel.matches(msg(name="a.b"))
+
+
+# ----------------------------------------------------------------- IS NULL
+def test_is_null():
+    assert Selector("site IS NULL").matches(msg())
+    assert not Selector("site IS NULL").matches(msg(site="uk"))
+    assert Selector("site IS NOT NULL").matches(msg(site="uk"))
+    assert not Selector("site IS NOT NULL").matches(msg())
+
+
+# ------------------------------------------------------------------ headers
+def test_selector_on_jms_headers():
+    m = msg()
+    m.priority = 8
+    assert Selector("JMSPriority > 5").matches(m)
+    assert Selector("JMSDeliveryMode = 'NON_PERSISTENT'").matches(m)
+
+
+# ------------------------------------------------------------------- syntax
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "   ",
+        "id <",
+        "id << 3",
+        "(id = 1",
+        "id = 1)",
+        "id BETWEEN 1",
+        "site IN ()",
+        "site IN (5)",
+        "name LIKE 'x' ESCAPE 'ab'",
+        "AND id = 1",
+        "id = 1 AND",
+        "id ~ 3",
+        "'unterminated",
+        "id NOT 5",
+    ],
+)
+def test_invalid_selectors_rejected(bad):
+    with pytest.raises(InvalidSelectorException):
+        Selector(bad)
+
+
+def test_string_literal_quote_escaping():
+    sel = Selector("name = 'it''s'")
+    assert sel.matches(msg(name="it's"))
+
+
+def test_float_literal_forms():
+    assert Selector("x = 1.5").matches(msg(x=1.5))
+    assert Selector("x = .5").matches(msg(x=0.5))
+    assert Selector("x = 1e2").matches(msg(x=100.0))
+    assert Selector("x = 1.5E-1").matches(msg(x=0.15))
+
+
+def test_keywords_case_insensitive():
+    sel = Selector("a between 1 and 3 or name like 'x%' And flag = true")
+    assert sel.matches(msg(a=2, name="q", flag=False))
+
+
+def test_identifiers_reported():
+    sel = Selector("id < 10 AND site IN ('uk') OR JMSPriority > 3")
+    assert sel.identifiers == {"id", "site", "JMSPriority"}
+
+
+def test_parse_selector_helper():
+    assert parse_selector(None) is None
+    assert parse_selector("  ") is None
+    assert parse_selector("id = 1") is not None
+
+
+def test_integer_division_truncates_toward_zero():
+    assert Selector("7 / 2 = 3").matches(msg())
+    assert Selector("-7 / 2 = -3").matches(msg())
+
+
+def test_nested_not():
+    assert Selector("NOT NOT a = 1").matches(msg(a=1))

@@ -1,0 +1,126 @@
+"""Property-based tests for the selector engine (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jms import InvalidSelectorException, Message, Selector
+
+ints = st.integers(min_value=-10**9, max_value=10**9)
+floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+prop_names = st.sampled_from(["id", "x", "y", "site", "flag"])
+
+
+def msg(**props):
+    m = Message()
+    for k, v in props.items():
+        m.set_property(k, v)
+    return m
+
+
+@given(ints, ints)
+def test_comparison_agrees_with_python(a, b):
+    m = msg(x=a, y=b)
+    assert Selector("x < y").matches(m) == (a < b)
+    assert Selector("x = y").matches(m) == (a == b)
+    assert Selector("x >= y").matches(m) == (a >= b)
+
+
+@given(ints, ints, ints)
+def test_between_equivalence(v, lo, hi):
+    m = msg(x=v)
+    expected = lo <= v <= hi
+    assert Selector(f"x BETWEEN {_lit(lo)} AND {_lit(hi)}").matches(m) == expected
+    assert Selector(f"x NOT BETWEEN {_lit(lo)} AND {_lit(hi)}").matches(m) == (
+        not expected
+    )
+
+
+def _lit(n):
+    """SQL numeric literal (negatives need the unary-minus form)."""
+    return str(n) if n >= 0 else f"-{-n}"
+
+
+@given(floats, floats)
+def test_arithmetic_addition(a, b):
+    m = msg(x=a, y=b)
+    sel = Selector("x + y >= 0")
+    assert sel.matches(m) == (a + b >= 0)
+
+
+@given(ints)
+def test_not_involution(v):
+    m = msg(x=v)
+    assert Selector("NOT NOT x > 0").matches(m) == Selector("x > 0").matches(m)
+
+
+@given(ints, ints)
+def test_de_morgan(a, b):
+    """NOT(p AND q) == (NOT p) OR (NOT q) under three-valued logic
+    (identical when all operands are known)."""
+    m = msg(x=a, y=b)
+    lhs = Selector("NOT (x > 0 AND y > 0)").evaluate(m)
+    rhs = Selector("NOT x > 0 OR NOT y > 0").evaluate(m)
+    assert lhs == rhs
+
+
+@given(st.text(alphabet="ab_%", min_size=0, max_size=8),
+       st.text(alphabet="ab", min_size=0, max_size=8))
+def test_like_matches_manual_semantics(pattern, value):
+    """LIKE agrees with a reference implementation of %/_ matching."""
+    sel = Selector(f"s LIKE '{pattern}'")
+    got = sel.matches(msg(s=value))
+    assert got == _ref_like(pattern, value)
+
+
+def _ref_like(pattern, value):
+    # Reference: dynamic programming over pattern/value.
+    import functools
+
+    @functools.lru_cache(maxsize=None)
+    def match(i, j):
+        if i == len(pattern):
+            return j == len(value)
+        c = pattern[i]
+        if c == "%":
+            return any(match(i + 1, k) for k in range(j, len(value) + 1))
+        if j >= len(value):
+            return False
+        if c == "_" or c == value[j]:
+            return match(i + 1, j + 1)
+        return False
+
+    return match(0, 0)
+
+
+@given(st.text(max_size=20))
+def test_garbage_never_crashes_only_raises_selector_error(text):
+    """Arbitrary input either parses or raises InvalidSelectorException."""
+    try:
+        Selector(text)
+    except InvalidSelectorException:
+        pass
+
+
+@given(ints)
+def test_missing_property_never_matches(v):
+    sel = Selector("nonexistent > 0 OR nonexistent <= 0")
+    assert not sel.matches(msg(x=v))
+
+
+@given(st.sampled_from(["uk", "fr", "de", "es", "it"]))
+def test_in_equivalence(site):
+    sel = Selector("site IN ('uk', 'fr', 'de')")
+    assert sel.matches(msg(site=site)) == (site in {"uk", "fr", "de"})
+
+
+@given(ints, ints)
+def test_selector_is_pure(a, b):
+    """Evaluating twice gives the same answer (no hidden state)."""
+    sel = Selector("x * 2 + y < 100")
+    m = msg(x=a, y=b)
+    assert sel.matches(m) == sel.matches(m)

@@ -1,0 +1,39 @@
+"""Shared Narada test fixtures: a cluster with one broker on hydra1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.narada import Broker, NaradaConfig, narada_connection_factory
+from repro.sim import Simulator
+from repro.transport import TcpTransport
+
+BROKER_PORT = 5045
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=11)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    config = NaradaConfig()
+    broker = Broker(sim, cluster.node("hydra1"), "broker1", config)
+    broker.serve(tcp, BROKER_PORT)
+    return sim, cluster, tcp, broker
+
+
+def connect(sim, cluster, tcp, node_name="hydra2", config=None):
+    """Create a started JMS connection from `node_name` to broker1."""
+    factory = narada_connection_factory(
+        sim, tcp, cluster.node(node_name), "hydra1", BROKER_PORT, config
+    )
+    holder = {}
+
+    def go():
+        conn = yield from factory.create_connection()
+        conn.start()
+        holder["conn"] = conn
+
+    sim.run_process(go())
+    return holder["conn"]

@@ -1,0 +1,271 @@
+"""Single-broker tests through the full JMS API stack."""
+
+import pytest
+
+from repro.jms import MapMessage, Queue, TextMessage, Topic
+from repro.narada import NaradaConfig
+from tests.narada.conftest import connect
+
+TOPIC = Topic("power.monitoring")
+
+
+def test_publish_subscribe_end_to_end(env):
+    sim, cluster, tcp, broker = env
+    pub_conn = connect(sim, cluster, tcp, "hydra2")
+    sub_conn = connect(sim, cluster, tcp, "hydra3")
+    got = []
+
+    def setup():
+        session = sub_conn.create_session()
+        yield from session.create_subscriber(TOPIC, listener=got.append)
+
+    sim.run_process(setup())
+
+    def publish():
+        session = pub_conn.create_session()
+        pub = session.create_publisher(TOPIC)
+        m = MapMessage()
+        m.set_double("power", 42.5)
+        yield from pub.publish(m)
+
+    sim.run_process(publish())
+    sim.run(until=sim.now + 5.0)
+    assert len(got) == 1
+    assert got[0].get_double("power") == 42.5
+    assert broker.stats.messages_published == 1
+    assert broker.stats.messages_delivered == 1
+
+
+def test_rtt_is_low_milliseconds_at_light_load(env):
+    """Paper Fig 3: TCP RTT at light load is single-digit milliseconds."""
+    sim, cluster, tcp, broker = env
+    pub_conn = connect(sim, cluster, tcp, "hydra2")
+    sub_conn = connect(sim, cluster, tcp, "hydra3")
+    rtts = []
+
+    def on_msg(m):
+        rtts.append(sim.now - m._t_published)
+
+    def setup():
+        session = sub_conn.create_session()
+        yield from session.create_subscriber(TOPIC, listener=on_msg)
+
+    sim.run_process(setup())
+
+    def publish():
+        session = pub_conn.create_session()
+        pub = session.create_publisher(TOPIC)
+        for _ in range(20):
+            m = TextMessage("x" * 200)
+            m._t_published = sim.now
+            yield from pub.publish(m)
+            yield sim.timeout(0.1)
+
+    sim.run_process(publish())
+    sim.run(until=sim.now + 2.0)
+    assert len(rtts) == 20
+    mean = sum(rtts) / len(rtts)
+    assert 0.001 < mean < 0.015  # a few ms
+
+
+def test_selector_filtering_at_broker(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    got = []
+
+    def run():
+        session = conn.create_session()
+        yield from session.create_subscriber(
+            TOPIC, selector="id < 10000", listener=got.append
+        )
+        pub = session.create_publisher(TOPIC)
+        for i in (5, 10000, 20000, 9999):
+            m = TextMessage(str(i))
+            m.set_property("id", i)
+            yield from pub.publish(m)
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 2.0)
+    assert sorted(m.text for m in got) == ["5", "9999"]
+    assert broker.stats.selector_evaluations == 4
+
+
+def test_queue_round_robin_delivery(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    queue = Queue("jobs")
+    got_a, got_b = [], []
+
+    def run():
+        session = conn.create_session()
+        yield from session.create_consumer(queue, listener=got_a.append)
+        session2 = conn.create_session()
+        yield from session2.create_consumer(queue, listener=got_b.append)
+        pub_session = conn.create_session()
+        producer = pub_session.create_producer(queue)
+        for i in range(10):
+            yield from producer.send(TextMessage(str(i)))
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 2.0)
+    assert len(got_a) == 5
+    assert len(got_b) == 5
+    assert sorted(int(m.text) for m in got_a + got_b) == list(range(10))
+
+
+def test_topic_fans_out_to_all_subscribers(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    buckets = [[] for _ in range(3)]
+
+    def run():
+        for b in buckets:
+            session = conn.create_session()
+            yield from session.create_subscriber(TOPIC, listener=b.append)
+        session = conn.create_session()
+        pub = session.create_publisher(TOPIC)
+        yield from pub.publish(TextMessage("fan"))
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 2.0)
+    assert all(len(b) == 1 for b in buckets)
+    # Each subscriber got its own copy.
+    ids = {id(b[0]) for b in buckets}
+    assert len(ids) == 3
+
+
+def test_unsubscribe_stops_delivery(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    got = []
+
+    def run():
+        session = conn.create_session()
+        sub = yield from session.create_subscriber(TOPIC, listener=got.append)
+        pub_session = conn.create_session()
+        pub = pub_session.create_publisher(TOPIC)
+        yield from pub.publish(TextMessage("first"))
+        yield sim.timeout(1.0)
+        yield from sub.close()
+        yield sim.timeout(0.5)
+        yield from pub.publish(TextMessage("second"))
+        yield sim.timeout(1.0)
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 2.0)
+    assert [m.text for m in got] == ["first"]
+    assert broker.subscription_count(TOPIC.name) == 0
+
+
+def test_acks_reach_broker(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    got = []
+
+    def run():
+        session = conn.create_session()  # AUTO_ACKNOWLEDGE
+        yield from session.create_subscriber(TOPIC, listener=got.append)
+        pub = conn.create_session().create_publisher(TOPIC)
+        for _ in range(4):
+            yield from pub.publish(TextMessage("x"))
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 2.0)
+    assert len(got) == 4
+    assert broker.stats.acks_processed == 4
+
+
+def test_persistent_delivery_costs_more(env):
+    """PERSISTENT mode adds a store write on the broker (more CPU)."""
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    from repro.jms import DeliveryMode
+
+    def run():
+        session = conn.create_session()
+        pub = session.create_publisher(TOPIC)
+        yield from pub.publish(TextMessage("np"))
+        yield sim.timeout(1.0)
+        busy_np = broker.node.cpu_busy_time
+        yield from pub.publish(
+            TextMessage("p"), delivery_mode=DeliveryMode.PERSISTENT
+        )
+        yield sim.timeout(1.0)
+        return busy_np, broker.node.cpu_busy_time - busy_np
+
+    busy_np, busy_p = sim.run_process(run())
+    assert busy_p > broker.config.persist_cpu
+
+
+def test_connection_wall_out_of_memory(env):
+    """Connections past the JVM thread budget are refused (paper §III.E.2)."""
+    sim, cluster, tcp, broker = env
+    # Shrink the budget so the wall is cheap to reach.
+    broker.jvm.native_budget_bytes = 5 * broker.jvm.thread_stack_bytes
+    accepted = refused = 0
+    from repro.transport.base import ChannelClosed
+
+    def run():
+        nonlocal accepted, refused
+        for i in range(8):
+            try:
+                yield from tcp.connect(
+                    cluster.node("hydra2"), "hydra1", 5045
+                )
+                accepted += 1
+            except ChannelClosed:
+                refused += 1
+
+    sim.run_process(run())
+    assert accepted == 5
+    assert refused == 3
+    assert broker.stats.connections_refused == 3
+
+
+def test_broker_shutdown_refuses_new_connections(env):
+    sim, cluster, tcp, broker = env
+    broker.shutdown()
+    from repro.transport.base import ChannelClosed
+
+    def run():
+        yield from tcp.connect(cluster.node("hydra2"), "hydra1", 5045)
+
+    with pytest.raises(ChannelClosed):
+        sim.run_process(run())
+
+
+def test_latency_grows_with_concurrent_load(env):
+    """More publishers -> higher broker utilisation -> higher RTT (Fig 7)."""
+    sim, cluster, tcp, broker = env
+    sub_conn = connect(sim, cluster, tcp, "hydra3")
+    rtts = []
+
+    def on_msg(m):
+        rtts.append((m._load_tag, sim.now - m._t_published))
+
+    def setup():
+        session = sub_conn.create_session()
+        yield from session.create_subscriber(TOPIC, listener=on_msg)
+
+    sim.run_process(setup())
+    pub_conn = connect(sim, cluster, tcp, "hydra2")
+
+    def burst(tag, n):
+        session = pub_conn.create_session()
+        pub = session.create_publisher(TOPIC)
+        for _ in range(n):
+            m = TextMessage("x")
+            m._t_published = sim.now
+            m._load_tag = tag
+            yield from pub.publish(m)
+
+    # Light: one message alone.  Heavy: 50 back-to-back.
+    sim.run_process(burst("light", 1))
+    sim.run(until=sim.now + 3.0)
+    sim.run_process(burst("heavy", 50))
+    sim.run(until=sim.now + 10.0)
+
+    light = [r for tag, r in rtts if tag == "light"]
+    heavy = [r for tag, r in rtts if tag == "heavy"]
+    assert len(light) == 1 and len(heavy) == 50
+    assert max(heavy) > light[0] * 3

@@ -1,0 +1,92 @@
+"""Durable subscriptions: offline retention and reattach."""
+
+import pytest
+
+from repro.jms import TextMessage, Topic
+from tests.narada.conftest import connect
+
+TOPIC = Topic("power.monitoring")
+
+
+def test_durable_survives_disconnect_and_replays(env):
+    sim, cluster, tcp, broker = env
+    pub_conn = connect(sim, cluster, tcp, "hydra2")
+    sub_conn = connect(sim, cluster, tcp, "hydra3")
+    got = []
+
+    def subscribe(conn):
+        session = conn.create_session()
+        yield from session.create_subscriber(
+            TOPIC, durable_name="monitor-1", listener=got.append
+        )
+
+    sim.run_process(subscribe(sub_conn))
+    pub = pub_conn.create_session().create_publisher(TOPIC)
+
+    def publish(texts):
+        for text in texts:
+            yield from pub.publish(TextMessage(text))
+
+    sim.run_process(publish(["m1"]))
+    sim.run(until=sim.now + 1.0)
+    # Disconnect the subscriber entirely.
+    sub_conn.close()
+    sim.run(until=sim.now + 1.0)
+    sim.run_process(publish(["m2", "m3"]))  # published while offline
+    sim.run(until=sim.now + 1.0)
+    assert [m.text for m in got] == ["m1"]
+    assert broker.subscription_count(TOPIC.name) == 1  # durable retained
+
+    # Reconnect with the same durable name: backlog replays, live resumes.
+    sub_conn2 = connect(sim, cluster, tcp, "hydra3")
+    sim.run_process(subscribe(sub_conn2))
+    sim.run(until=sim.now + 2.0)
+    assert [m.text for m in got] == ["m1", "m2", "m3"]
+    sim.run_process(publish(["m4"]))
+    sim.run(until=sim.now + 2.0)
+    assert [m.text for m in got] == ["m1", "m2", "m3", "m4"]
+
+
+def test_nondurable_subscription_dies_with_connection(env):
+    sim, cluster, tcp, broker = env
+    sub_conn = connect(sim, cluster, tcp, "hydra3")
+
+    def subscribe():
+        session = sub_conn.create_session()
+        yield from session.create_subscriber(TOPIC, listener=lambda m: None)
+
+    sim.run_process(subscribe())
+    assert broker.subscription_count(TOPIC.name) == 1
+    sub_conn.close()
+    sim.run(until=sim.now + 1.0)
+    assert broker.subscription_count(TOPIC.name) == 0
+
+
+def test_durable_buffer_bounded(env):
+    sim, cluster, tcp, broker = env
+    broker.config = broker.config.with_(durable_buffer_max=5)
+    pub_conn = connect(sim, cluster, tcp, "hydra2")
+    sub_conn = connect(sim, cluster, tcp, "hydra3")
+    got = []
+
+    def subscribe(conn):
+        session = conn.create_session()
+        yield from session.create_subscriber(
+            TOPIC, durable_name="bounded", listener=got.append
+        )
+
+    sim.run_process(subscribe(sub_conn))
+    sub_conn.close()
+    sim.run(until=sim.now + 1.0)
+    pub = pub_conn.create_session().create_publisher(TOPIC)
+
+    def publish():
+        for i in range(12):
+            yield from pub.publish(TextMessage(str(i)))
+
+    sim.run_process(publish())
+    sim.run(until=sim.now + 1.0)
+    sub = broker._subs_by_id["bounded"]
+    assert len(sub.offline_buffer) == 5  # oldest dropped
+    assert [m.text for m in sub.offline_buffer] == ["7", "8", "9", "10", "11"]
+    assert broker.stats.deliveries_dropped >= 7

@@ -1,0 +1,118 @@
+"""Tests for TopicRequestor request/reply over the real broker."""
+
+import pytest
+
+from repro.jms import TextMessage, Topic
+from repro.jms.requestor import TopicRequestor, reply_to
+from tests.narada.conftest import connect
+
+COMMANDS = Topic("generator.commands")
+
+
+def test_request_reply_round_trip(env):
+    sim, cluster, tcp, broker = env
+    responder_conn = connect(sim, cluster, tcp, "hydra2")
+    requestor_conn = connect(sim, cluster, tcp, "hydra3")
+
+    # Responder: echoes status for every command.
+    def responder_setup():
+        session = responder_conn.create_session()
+
+        def on_command(message):
+            reply = TextMessage(f"ack:{message.text}")
+            yield from reply_to(session, message, reply)
+
+        yield from session.create_subscriber(COMMANDS, listener=on_command)
+
+    sim.run_process(responder_setup())
+
+    def requestor_run():
+        session = requestor_conn.create_session()
+        requestor = TopicRequestor(session, COMMANDS)
+        reply = yield from requestor.request(TextMessage("switch-on"), timeout=5.0)
+        return reply
+
+    reply = sim.run_process(requestor_run())
+    assert reply is not None
+    assert reply.text == "ack:switch-on"
+
+
+def test_request_timeout_signals_malfunction(env):
+    """No responder -> None within the deadline (the §I malfunction case)."""
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra3")
+
+    def run():
+        session = conn.create_session()
+        requestor = TopicRequestor(session, COMMANDS)
+        t0 = sim.now
+        reply = yield from requestor.request(TextMessage("ping"), timeout=2.0)
+        return reply, sim.now - t0
+
+    reply, elapsed = sim.run_process(run())
+    assert reply is None
+    assert elapsed == pytest.approx(2.0, abs=0.1)
+
+
+def test_correlation_discards_stale_replies(env):
+    """A late reply to a timed-out request must not satisfy the next one."""
+    sim, cluster, tcp, broker = env
+    responder_conn = connect(sim, cluster, tcp, "hydra2")
+    requestor_conn = connect(sim, cluster, tcp, "hydra3")
+    delay_first = {"pending": True}
+
+    def responder_setup():
+        session = responder_conn.create_session()
+
+        def on_command(message):
+            if delay_first.pop("pending", False):
+                yield sim.timeout(3.0)  # too late for the 1 s timeout
+            else:
+                yield sim.timeout(0.0)
+            yield from reply_to(session, message, TextMessage(f"ack:{message.text}"))
+
+        yield from session.create_subscriber(COMMANDS, listener=on_command)
+
+    sim.run_process(responder_setup())
+
+    def run():
+        session = requestor_conn.create_session()
+        requestor = TopicRequestor(session, COMMANDS)
+        first = yield from requestor.request(TextMessage("slow"), timeout=1.0)
+        yield sim.timeout(5.0)  # let the stale reply arrive and sit in inbox
+        second = yield from requestor.request(TextMessage("fast"), timeout=5.0)
+        return first, second
+
+    first, second = sim.run_process(run())
+    assert first is None
+    assert second is not None
+    assert second.text == "ack:fast"  # not the stale "ack:slow"
+
+
+def test_multiple_requestors_isolated(env):
+    sim, cluster, tcp, broker = env
+    responder_conn = connect(sim, cluster, tcp, "hydra2")
+
+    def responder_setup():
+        session = responder_conn.create_session()
+
+        def on_command(message):
+            yield from reply_to(session, message, TextMessage(f"r:{message.text}"))
+
+        yield from session.create_subscriber(COMMANDS, listener=on_command)
+
+    sim.run_process(responder_setup())
+    conn_a = connect(sim, cluster, tcp, "hydra3")
+    conn_b = connect(sim, cluster, tcp, "hydra4")
+    results = {}
+
+    def requestor(name, conn):
+        session = conn.create_session()
+        requestor = TopicRequestor(session, COMMANDS)
+        reply = yield from requestor.request(TextMessage(name), timeout=5.0)
+        results[name] = reply.text
+
+    sim.process(requestor("alpha", conn_a))
+    sim.process(requestor("beta", conn_b))
+    sim.run(until=sim.now + 10.0)
+    assert results == {"alpha": "r:alpha", "beta": "r:beta"}

@@ -1,0 +1,101 @@
+"""Tests for shortest-path routing, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.narada.routing import routing_tables, shortest_paths
+
+
+def test_simple_chain():
+    graph = {"a": {"b": 1.0}, "b": {"a": 1.0, "c": 1.0}, "c": {"b": 1.0}}
+    dist, hop = shortest_paths(graph, "a")
+    assert dist == {"a": 0.0, "b": 1.0, "c": 2.0}
+    assert hop == {"b": "b", "c": "b"}
+
+
+def test_star_topology():
+    graph = {
+        "hub": {"l1": 1.0, "l2": 1.0, "l3": 1.0},
+        "l1": {"hub": 1.0},
+        "l2": {"hub": 1.0},
+        "l3": {"hub": 1.0},
+    }
+    dist, hop = shortest_paths(graph, "l1")
+    assert dist["l2"] == 2.0
+    assert hop["l2"] == "hub"
+    assert hop["l3"] == "hub"
+
+
+def test_weighted_shortcut_preferred():
+    graph = {
+        "a": {"b": 10.0, "c": 1.0},
+        "b": {"a": 10.0, "c": 1.0},
+        "c": {"a": 1.0, "b": 1.0},
+    }
+    dist, hop = shortest_paths(graph, "a")
+    assert dist["b"] == 2.0
+    assert hop["b"] == "c"
+
+
+def test_unknown_source_raises():
+    with pytest.raises(KeyError):
+        shortest_paths({"a": {}}, "z")
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ValueError):
+        shortest_paths({"a": {"b": -1.0}, "b": {"a": -1.0}}, "a")
+
+
+def test_unreachable_nodes_absent():
+    graph = {"a": {"b": 1.0}, "b": {"a": 1.0}, "island": {}}
+    dist, hop = shortest_paths(graph, "a")
+    assert "island" not in dist
+
+
+def test_distances_match_networkx_on_random_graphs():
+    rng = __import__("random").Random(42)
+    for trial in range(10):
+        n = rng.randint(4, 12)
+        g = nx.gnp_random_graph(n, 0.5, seed=trial)
+        for u, v in g.edges:
+            g.edges[u, v]["weight"] = rng.uniform(0.1, 5.0)
+        graph = {
+            node: {nbr: g.edges[node, nbr]["weight"] for nbr in g.neighbors(node)}
+            for node in g.nodes
+        }
+        for source in g.nodes:
+            dist, hop = shortest_paths(graph, source)
+            nx_dist = nx.single_source_dijkstra_path_length(g, source)
+            assert set(dist) == set(nx_dist)
+            for node, d in nx_dist.items():
+                assert dist[node] == pytest.approx(d)
+
+
+def test_first_hop_lies_on_a_shortest_path():
+    rng = __import__("random").Random(7)
+    g = nx.gnp_random_graph(10, 0.4, seed=3)
+    for u, v in g.edges:
+        g.edges[u, v]["weight"] = rng.uniform(0.5, 2.0)
+    graph = {
+        node: {nbr: g.edges[node, nbr]["weight"] for nbr in g.neighbors(node)}
+        for node in g.nodes
+    }
+    for source in g.nodes:
+        dist, hop = shortest_paths(graph, source)
+        for target, h in hop.items():
+            # dist(source->target) == w(source,h) + dist(h->target)
+            d_h, _ = shortest_paths(graph, h)
+            assert dist[target] == pytest.approx(graph[source][h] + d_h[target])
+
+
+def test_routing_tables_cover_all_brokers():
+    graph = {
+        "a": {"b": 1.0},
+        "b": {"a": 1.0, "c": 1.0},
+        "c": {"b": 1.0},
+    }
+    tables = routing_tables(graph)
+    assert set(tables) == {"a", "b", "c"}
+    assert tables["a"]["c"] == "b"
+    assert tables["c"]["a"] == "b"

@@ -1,0 +1,102 @@
+"""Synchronous receive (poll/wait) through the real broker — the other half
+of §II.B's "the subscriber can either poll or wait for the next message"."""
+
+import pytest
+
+from repro.jms import Queue, TextMessage, Topic
+from tests.narada.conftest import connect
+
+TOPIC = Topic("power.monitoring")
+JOBS = Queue("dispatch.jobs")
+
+
+def test_blocking_receive_waits_for_publish(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+
+    def run():
+        session = conn.create_session()
+        consumer = yield from session.create_consumer(TOPIC)
+        pub = conn.create_session().create_publisher(TOPIC)
+
+        def later():
+            yield sim.timeout(2.0)
+            yield from pub.publish(TextMessage("waited-for"))
+
+        sim.process(later())
+        t0 = sim.now
+        message = yield from consumer.receive()
+        return message.text, sim.now - t0
+
+    text, waited = sim.run_process(run())
+    assert text == "waited-for"
+    assert waited >= 2.0
+
+
+def test_polling_receive_with_timeout(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+
+    def run():
+        session = conn.create_session()
+        consumer = yield from session.create_consumer(TOPIC)
+        empty = yield from consumer.receive(timeout=0.5)
+        pub = conn.create_session().create_publisher(TOPIC)
+        yield from pub.publish(TextMessage("arrived"))
+        found = yield from consumer.receive(timeout=5.0)
+        return empty, found.text
+
+    empty, text = sim.run_process(run())
+    assert empty is None
+    assert text == "arrived"
+
+
+def test_queue_sync_receivers_share_work(env):
+    """PTP with two polling workers: each job goes to exactly one."""
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+    taken = {"a": [], "b": []}
+
+    def worker(tag):
+        session = conn.create_session()
+        consumer = yield from session.create_consumer(JOBS)
+        while True:
+            message = yield from consumer.receive(timeout=10.0)
+            if message is None:
+                return
+            taken[tag].append(message.text)
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+
+    def producer():
+        yield sim.timeout(1.0)
+        session = conn.create_session()
+        sender = session.create_producer(JOBS)
+        for i in range(8):
+            yield from sender.send(TextMessage(f"job{i}"))
+
+    sim.process(producer())
+    sim.run(until=sim.now + 20.0)
+    all_jobs = sorted(taken["a"] + taken["b"])
+    assert all_jobs == [f"job{i}" for i in range(8)]
+    assert taken["a"] and taken["b"]  # both workers participated
+
+
+def test_broker_queue_sync_receive_acks(env):
+    sim, cluster, tcp, broker = env
+    conn = connect(sim, cluster, tcp, "hydra2")
+
+    def run():
+        session = conn.create_session()  # AUTO ack
+        consumer = yield from session.create_consumer(JOBS)
+        sender = conn.create_session().create_producer(JOBS)
+        yield from sender.send(TextMessage("j"))
+        message = yield from consumer.receive(timeout=5.0)
+        yield sim.timeout(1.0)
+        return message
+
+    message = sim.run_process(run())
+    sim.run(until=sim.now + 1.0)
+    assert message is not None
+    assert broker.stats.acks_processed == 1

@@ -1,0 +1,86 @@
+"""Tests for the generator model and payload builders."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid import PowerGenerator, narada_map_message, rgma_row
+from repro.rgma.schema import Schema, grid_monitoring_table
+
+
+def make_gen(gen_id=1, **kw):
+    return PowerGenerator(gen_id, np.random.default_rng(42), **kw)
+
+
+def test_power_within_capacity():
+    gen = make_gen(capacity_kw=50.0)
+    for t in range(200):
+        s = gen.sample(float(t) * 10)
+        assert 0.0 <= s.power_kw <= 50.0
+
+
+def test_voltage_near_nominal():
+    gen = make_gen()
+    samples = [gen.sample(t * 10.0) for t in range(100)]
+    volts = [s.voltage_v for s in samples]
+    assert all(390 < v < 430 for v in volts)
+
+
+def test_sequence_increments():
+    gen = make_gen()
+    seqs = [gen.sample(t * 10.0).seq for t in range(5)]
+    assert seqs == [1, 2, 3, 4, 5]
+
+
+def test_breaker_trips_eventually():
+    gen = make_gen(trip_probability=0.2)
+    states = [gen.sample(t * 10.0) for t in range(200)]
+    assert any(not s.breaker_closed for s in states)
+    assert any(s.power_kw == 0.0 for s in states if not s.breaker_closed)
+
+
+def test_deterministic_given_same_rng_seed():
+    a = PowerGenerator(1, np.random.default_rng(7))
+    b = PowerGenerator(1, np.random.default_rng(7))
+    for t in range(20):
+        assert a.sample(t * 10.0).power_kw == b.sample(t * 10.0).power_kw
+
+
+# ----------------------------------------------------------------- payloads
+def test_narada_payload_field_mix():
+    """The paper's exact mix: 2 int, 5 float, 2 long, 3 double, 4 string."""
+    gen = make_gen()
+    m = narada_map_message(gen.sample(10.0))
+    types = [m._body[name][0] for name in m.item_names()]
+    assert types.count("int") == 2
+    assert types.count("float") == 5
+    assert types.count("long") == 2
+    assert types.count("double") == 3
+    assert types.count("string") == 4
+    assert m.get_property("id") == 1  # selector property
+
+
+def test_narada_payload_under_throughput_bound():
+    """<= ~660 B/message to satisfy '75 msg/s at < 50 KB/s' (§III.B)."""
+    gen = make_gen(gen_id=9999)
+    m = narada_map_message(gen.sample(10.0))
+    from repro.jms.destination import Topic
+
+    m.destination = Topic("power.monitoring")
+    assert m.wire_size() < 660
+
+
+def test_rgma_row_validates_against_paper_table():
+    schema = Schema()
+    table = schema.create_table(grid_monitoring_table())
+    gen = make_gen(gen_id=5)
+    row = rgma_row(gen.sample(10.0))
+    table.validate_row(row)  # should not raise
+    assert len(row) == 16
+    assert row["genid"] == 5
+
+
+def test_rgma_row_strings_fit_char20():
+    gen = PowerGenerator(3, np.random.default_rng(1), site="x" * 50)
+    row = rgma_row(gen.sample(10.0))
+    for k in ("sval1", "sval2", "sval3", "sval4"):
+        assert len(row[k]) <= 20

@@ -1,0 +1,133 @@
+"""Property-based invariants across the substrate models."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster import HydraCluster, Jvm, Node
+from repro.jms.message import MapMessage
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------------- message sizes
+map_entries = st.lists(
+    st.tuples(
+        st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True),
+        st.sampled_from(["int", "long", "float", "double", "string", "boolean"]),
+    ),
+    min_size=0,
+    max_size=12,
+    unique_by=lambda e: e[0],
+)
+
+
+def build_message(entries):
+    m = MapMessage()
+    for name, jms_type in entries:
+        if jms_type == "int":
+            m.set_int(name, 1)
+        elif jms_type == "long":
+            m.set_long(name, 1)
+        elif jms_type == "float":
+            m.set_float(name, 1.0)
+        elif jms_type == "double":
+            m.set_double(name, 1.0)
+        elif jms_type == "boolean":
+            m.set_boolean(name, True)
+        else:
+            m.set_string(name, "v" * 5)
+    return m
+
+
+@given(map_entries)
+def test_wire_size_monotone_in_entries(entries):
+    """Adding an entry never shrinks the wire size."""
+    m = build_message(entries)
+    size = m.wire_size()
+    m.set_int("extra_entry", 1)
+    assert m.wire_size() > size
+
+
+@given(map_entries)
+def test_copy_preserves_wire_size(entries):
+    m = build_message(entries)
+    m.set_property("id", 7)
+    assert m.copy().wire_size() == m.wire_size()
+
+
+# ----------------------------------------------------------------- JVM heap
+alloc_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=10_000_000)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(alloc_ops)
+def test_jvm_heap_never_negative_and_bounded(ops):
+    sim = Simulator()
+    node = Node(sim, "n")
+    jvm = Jvm(sim, node, "j", heap_bytes=512 * 1024 * 1024)
+    from repro.cluster.jvm import OutOfMemoryError
+
+    outstanding = 0.0
+    for is_alloc, nbytes in ops:
+        if jvm.dead:
+            break
+        if is_alloc:
+            try:
+                jvm.alloc(nbytes)
+                outstanding += nbytes
+            except OutOfMemoryError:
+                break
+        else:
+            jvm.free(min(nbytes, outstanding))
+            outstanding = max(0.0, outstanding - nbytes)
+        assert 0.0 <= jvm.heap_used <= jvm.heap_bytes
+        assert jvm.heap_high_water >= jvm.heap_used
+        assert jvm.committed_bytes >= jvm.base_overhead_bytes
+
+
+# -------------------------------------------------------------- LAN accounting
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["hydra1", "hydra2", "hydra3"]),
+            st.sampled_from(["hydra1", "hydra2", "hydra3"]),
+            st.integers(min_value=1, max_value=100_000),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_lan_reliable_transfers_all_complete(transfers):
+    """Every reliable transfer produces exactly one delivery event that
+    fires, with strictly positive latency, and tx frame counts match."""
+    sim = Simulator(seed=5)
+    cluster = HydraCluster(sim)
+    events = []
+    expected_tx = {"hydra1": 0, "hydra2": 0, "hydra3": 0}
+    for src, dst, nbytes in transfers:
+        ev = cluster.lan.transmit(src, dst, nbytes)
+        assert ev is not None
+        events.append(ev)
+        if src != dst:
+            expected_tx[src] += 1
+    sim.run()
+    assert all(ev.processed and ev.ok for ev in events)
+    assert all(ev.value > 0 for ev in events)
+    for host, count in expected_tx.items():
+        assert cluster.lan.tx_link(host).stats.frames == count
+
+
+@given(st.integers(min_value=1, max_value=5_000_000))
+def test_lan_latency_increases_with_size(nbytes):
+    sim = Simulator(seed=6)
+    cluster = HydraCluster(sim)
+    small = cluster.lan.transmit("hydra1", "hydra2", 10)
+    sim.run()
+    sim2 = Simulator(seed=6)
+    cluster2 = HydraCluster(sim2)
+    big = cluster2.lan.transmit("hydra1", "hydra2", 10 + nbytes)
+    sim2.run()
+    assert big.value > small.value

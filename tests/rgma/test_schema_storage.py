@@ -1,0 +1,166 @@
+"""Tests for the schema service and tuple storage retention."""
+
+import pytest
+
+from repro.rgma.errors import RGMAException
+from repro.rgma.schema import Schema, grid_monitoring_table
+from repro.rgma.sql import parse_sql
+from repro.rgma.storage import TupleStore
+from repro.sim import Simulator
+
+
+def make_table():
+    schema = Schema()
+    return schema, schema.create_table(
+        parse_sql("CREATE TABLE gen (id INTEGER PRIMARY KEY, power DOUBLE, site CHAR(10))")
+    )
+
+
+# --------------------------------------------------------------------- schema
+def test_create_and_lookup():
+    schema, table = make_table()
+    assert schema.exists("gen")
+    assert schema.table("gen") is table
+    assert schema.table_names() == ["gen"]
+    assert table.column_names() == ("id", "power", "site")
+
+
+def test_duplicate_table_rejected():
+    schema, _ = make_table()
+    with pytest.raises(RGMAException, match="already exists"):
+        schema.create_table(parse_sql("CREATE TABLE gen (x INTEGER)"))
+
+
+def test_unknown_table_rejected():
+    schema, _ = make_table()
+    with pytest.raises(RGMAException, match="unknown table"):
+        schema.table("nope")
+
+
+def test_duplicate_columns_rejected():
+    schema = Schema()
+    with pytest.raises(RGMAException, match="duplicate"):
+        schema.create_table(parse_sql("CREATE TABLE t (a INTEGER, a DOUBLE)"))
+
+
+def test_pk_must_be_column():
+    schema = Schema()
+    with pytest.raises(RGMAException, match="not a column"):
+        schema.create_table(parse_sql("CREATE TABLE t (a INTEGER, PRIMARY KEY (z))"))
+
+
+def test_row_validation():
+    _, table = make_table()
+    table.validate_row({"id": 1, "power": 2.5, "site": "uk"})
+    with pytest.raises(RGMAException, match="expected INTEGER"):
+        table.validate_row({"id": "one"})
+    with pytest.raises(RGMAException, match="expected string"):
+        table.validate_row({"id": 1, "site": 5})
+    with pytest.raises(RGMAException, match="longer than"):
+        table.validate_row({"id": 1, "site": "x" * 11})
+    with pytest.raises(RGMAException, match="primary key"):
+        table.validate_row({"power": 1.0})
+    with pytest.raises(RGMAException, match="no column"):
+        table.validate_row({"id": 1, "bogus": 2})
+
+
+def test_bool_is_not_integer():
+    _, table = make_table()
+    with pytest.raises(RGMAException):
+        table.validate_row({"id": True})
+
+
+def test_paper_table_shape_and_size():
+    """§III.F payload: 4 integer, 8 double, 4 char(20) values."""
+    stmt = grid_monitoring_table()
+    schema = Schema()
+    table = schema.create_table(stmt)
+    types = [c.sql_type for c in table.columns]
+    assert types.count("INTEGER") == 4
+    assert types.count("DOUBLE") == 8
+    assert types.count("CHAR(20)") == 4
+    # 4*4 + 8*8 + 4*20 + timestamp
+    assert table.row_bytes() == 16 + 64 + 80 + 8
+
+
+# -------------------------------------------------------------------- storage
+def test_insert_and_history():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table)
+    store.insert({"id": 1, "power": 1.0, "site": "uk"})
+    store.insert({"id": 2, "power": 2.0, "site": "fr"})
+    assert len(store) == 2
+    rows = [t.row["id"] for t in store.history()]
+    assert rows == [1, 2]
+
+
+def test_latest_keeps_one_per_key():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table)
+    store.insert({"id": 1, "power": 1.0})
+    sim.run(until=1.0)
+    store.insert({"id": 1, "power": 9.0})
+    store.insert({"id": 2, "power": 2.0})
+    latest = {t.row["id"]: t.row["power"] for t in store.latest()}
+    assert latest == {1: 9.0, 2: 2.0}
+
+
+def test_history_retention_purges():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table, history_retention=60.0)
+    store.insert({"id": 1, "power": 1.0})
+    sim.run(until=59.0)
+    assert len(store.history()) == 1
+    sim.run(until=61.0)
+    assert store.history() == []
+    assert store.purged_count == 1
+
+
+def test_latest_retention_expires_stale_keys():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table, latest_retention=30.0, history_retention=100.0)
+    store.insert({"id": 1, "power": 1.0})
+    sim.run(until=31.0)
+    assert store.latest() == []
+    assert len(store.history()) == 1  # still inside history retention
+
+
+def test_since_seq_cursor():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table)
+    t1 = store.insert({"id": 1})
+    t2 = store.insert({"id": 2})
+    t3 = store.insert({"id": 3})
+    assert [t.row["id"] for t in store.since_seq(t1.seq)] == [2, 3]
+    assert store.since_seq(t3.seq) == []
+
+
+def test_validation_enforced_on_insert():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table)
+    with pytest.raises(RGMAException):
+        store.insert({"id": "bad"})
+
+
+def test_invalid_retention_rejected():
+    sim = Simulator()
+    _, table = make_table()
+    with pytest.raises(ValueError):
+        TupleStore(sim, table, latest_retention=0.0)
+
+
+def test_meta_copied_not_shared():
+    sim = Simulator()
+    _, table = make_table()
+    store = TupleStore(sim, table)
+    meta = {"t_before_send": 1.0}
+    t = store.insert({"id": 1}, meta)
+    meta["t_before_send"] = 99.0
+    assert t.meta["t_before_send"] == 1.0
+    assert t.meta["t_stored"] if "t_stored" in t.meta else True

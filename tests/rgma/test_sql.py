@@ -1,0 +1,137 @@
+"""Tests for the R-GMA SQL subset."""
+
+import pytest
+
+from repro.rgma.errors import RGMAException
+from repro.rgma.sql import (
+    CreateTable,
+    Insert,
+    RowView,
+    Select,
+    parse_sql,
+    render_insert,
+)
+
+
+# ------------------------------------------------------------- CREATE TABLE
+def test_create_table_basic():
+    stmt = parse_sql("CREATE TABLE gen (id INTEGER, power DOUBLE, site CHAR(20))")
+    assert isinstance(stmt, CreateTable)
+    assert stmt.table == "gen"
+    assert stmt.columns == (
+        ("id", "INTEGER"),
+        ("power", "DOUBLE"),
+        ("site", "CHAR(20)"),
+    )
+    assert stmt.primary_key == ()
+
+
+def test_create_table_inline_primary_key():
+    stmt = parse_sql("CREATE TABLE gen (id INTEGER PRIMARY KEY, power REAL)")
+    assert stmt.primary_key == ("id",)
+
+
+def test_create_table_trailing_primary_key_clause():
+    stmt = parse_sql("CREATE TABLE g (a INTEGER, b INTEGER, PRIMARY KEY (a, b))")
+    assert stmt.primary_key == ("a", "b")
+
+
+def test_create_table_unknown_type_rejected():
+    with pytest.raises(RGMAException, match="unknown column type"):
+        parse_sql("CREATE TABLE g (a BLOB)")
+
+
+def test_create_table_empty_rejected():
+    with pytest.raises(RGMAException):
+        parse_sql("CREATE TABLE g ()")
+
+
+# ------------------------------------------------------------------- INSERT
+def test_insert_with_columns():
+    stmt = parse_sql("INSERT INTO gen (id, power) VALUES (7, 1.5)")
+    assert isinstance(stmt, Insert)
+    assert stmt.columns == ("id", "power")
+    assert stmt.values == (7, 1.5)
+
+
+def test_insert_without_columns():
+    stmt = parse_sql("INSERT INTO gen VALUES (1, 'uk', NULL)")
+    assert stmt.columns == ()
+    assert stmt.values == (1, "uk", None)
+
+
+def test_insert_negative_and_string_escapes():
+    stmt = parse_sql("INSERT INTO g (a, b) VALUES (-5, 'it''s')")
+    assert stmt.values == (-5, "it's")
+
+
+def test_insert_count_mismatch_rejected():
+    with pytest.raises(RGMAException, match="columns but"):
+        parse_sql("INSERT INTO g (a, b) VALUES (1)")
+
+
+def test_insert_trailing_garbage_rejected():
+    with pytest.raises(RGMAException):
+        parse_sql("INSERT INTO g (a) VALUES (1) garbage")
+
+
+# ------------------------------------------------------------------- SELECT
+def test_select_star():
+    stmt = parse_sql("SELECT * FROM gen")
+    assert isinstance(stmt, Select)
+    assert stmt.columns == ()
+    assert stmt.where is None
+
+
+def test_select_columns():
+    stmt = parse_sql("SELECT id, power FROM gen")
+    assert stmt.columns == ("id", "power")
+
+
+def test_select_where_predicate_evaluates():
+    stmt = parse_sql("SELECT * FROM gen WHERE id < 100 AND site = 'uk'")
+    assert stmt.where is not None
+    assert stmt.where.matches(RowView({"id": 5, "site": "uk"}))
+    assert not stmt.where.matches(RowView({"id": 5, "site": "fr"}))
+    assert not stmt.where.matches(RowView({"id": 500, "site": "uk"}))
+
+
+def test_select_where_supports_selector_grammar():
+    stmt = parse_sql(
+        "SELECT * FROM gen WHERE power BETWEEN 1 AND 9 OR site LIKE 'hy%'"
+    )
+    assert stmt.where.matches(RowView({"power": 5}))
+    assert stmt.where.matches(RowView({"power": 99, "site": "hydra"}))
+
+
+def test_select_bad_where_rejected():
+    with pytest.raises(RGMAException, match="WHERE"):
+        parse_sql("SELECT * FROM gen WHERE")
+    with pytest.raises(RGMAException, match="bad WHERE"):
+        parse_sql("SELECT * FROM gen WHERE id <")
+
+
+def test_unsupported_statement_rejected():
+    with pytest.raises(RGMAException, match="unsupported"):
+        parse_sql("DROP TABLE gen")
+    with pytest.raises(RGMAException):
+        parse_sql("")
+
+
+def test_semicolon_tolerated():
+    stmt = parse_sql("SELECT * FROM gen;")
+    assert isinstance(stmt, Select)
+
+
+# ------------------------------------------------------------ render_insert
+def test_render_insert_round_trip():
+    row = {"id": 3, "power": 2.5, "site": "o'brien", "note": None}
+    stmt = parse_sql(render_insert("gen", row))
+    assert stmt.table == "gen"
+    assert dict(zip(stmt.columns, stmt.values)) == row
+
+
+def test_render_insert_float_precision():
+    row = {"v": 0.1 + 0.2}
+    stmt = parse_sql(render_insert("t", row))
+    assert stmt.values[0] == row["v"]  # repr round-trips exactly

@@ -1,0 +1,152 @@
+"""Tests for the legacy Stream Producer / Archiver API (§III.F.3, [11])."""
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.rgma import RGMADeployment
+from repro.rgma.stream_producer import LegacyDeployment, StreamProducerClient
+from repro.sim import Simulator
+
+
+def build(seed=81):
+    sim = Simulator(seed=seed)
+    cluster = HydraCluster(sim)
+    deployment = RGMADeployment.single_server(sim, cluster)
+    legacy = LegacyDeployment(deployment)
+    return sim, cluster, deployment, legacy
+
+
+def row(genid, power=1.0):
+    base = {f"ival{i}": 0 for i in range(1, 4)}
+    base.update({f"dval{i}": 0.0 for i in range(2, 9)})
+    base.update({f"sval{i}": "x" for i in range(1, 5)})
+    return {"genid": genid, "dval1": power, **base}
+
+
+def make_archiver(sim, cluster, deployment, where=None, node="hydra6"):
+    from repro.transport.http import HttpClient
+
+    http = HttpClient(sim, deployment.transport, cluster.node(node), "hydra1", 8080)
+
+    def go():
+        response = yield from http.request(
+            "/archiver/create", {"table": "gridmon", "where": where}, 140
+        )
+        assert response.status == 200
+        return response.body["resource_id"]
+
+    return sim.run_process(go())
+
+
+def test_push_reaches_archiver_immediately():
+    sim, cluster, deployment, legacy = build()
+    archiver_id = make_archiver(sim, cluster, deployment)
+    got = []
+    legacy.archiver_callback(archiver_id, got.append)
+    producer = StreamProducerClient(
+        sim, deployment.transport, cluster.node("hydra5"), "hydra1", 8080
+    )
+
+    def run():
+        yield from producer.create("gridmon")
+        yield from producer.insert(row(1, 42.0))
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 1.0)
+    assert len(got) == 1
+    assert got[0].row["dval1"] == 42.0
+
+
+def test_legacy_latency_far_below_new_api():
+    """The [11] discrepancy: the old API is sub-100 ms where the new API
+    takes ~half a second."""
+    sim, cluster, deployment, legacy = build()
+    archiver_id = make_archiver(sim, cluster, deployment)
+    latencies = []
+    legacy.archiver_callback(
+        archiver_id,
+        lambda t: latencies.append(sim.now - t.meta["t_before_send"]),
+    )
+    producer = StreamProducerClient(
+        sim, deployment.transport, cluster.node("hydra5"), "hydra1", 8080
+    )
+
+    def run():
+        yield from producer.create("gridmon")
+        for i in range(10):
+            yield from producer.insert(row(1, float(i)))
+            yield sim.timeout(1.0)
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 2.0)
+    assert len(latencies) == 10
+    assert max(latencies) < 0.1  # the old API streams directly
+
+
+def test_archiver_where_filters():
+    sim, cluster, deployment, legacy = build()
+    archiver_id = make_archiver(sim, cluster, deployment, where="genid < 5")
+    got = []
+    legacy.archiver_callback(archiver_id, got.append)
+    producer = StreamProducerClient(
+        sim, deployment.transport, cluster.node("hydra5"), "hydra1", 8080
+    )
+
+    def run():
+        yield from producer.create("gridmon")
+        for genid in (1, 7, 3, 9):
+            yield from producer.insert(row(genid))
+
+    sim.run_process(run())
+    sim.run(until=sim.now + 1.0)
+    assert sorted(t.row["genid"] for t in got) == [1, 3]
+
+
+def test_archiver_created_after_producer_still_attached():
+    sim, cluster, deployment, legacy = build()
+    producer = StreamProducerClient(
+        sim, deployment.transport, cluster.node("hydra5"), "hydra1", 8080
+    )
+
+    def make_producer():
+        yield from producer.create("gridmon")
+
+    sim.run_process(make_producer())
+    archiver_id = make_archiver(sim, cluster, deployment)
+    got = []
+    legacy.archiver_callback(archiver_id, got.append)
+
+    def publish():
+        yield from producer.insert(row(2))
+
+    sim.run_process(publish())
+    sim.run(until=sim.now + 1.0)
+    assert len(got) == 1
+
+
+def test_new_api_still_works_alongside_legacy():
+    """Deploying the legacy servlets must not break the PP/Consumer path."""
+    sim, cluster, deployment, legacy = build()
+    consumer = deployment.consumer_client(cluster.node("hydra7"))
+
+    def mk_consumer():
+        yield from consumer.create("SELECT * FROM gridmon")
+
+    sim.run_process(mk_consumer())
+    client = deployment.producer_client(cluster.node("hydra5"))
+
+    def mk_producer():
+        yield from client.create("gridmon")
+
+    sim.run_process(mk_producer())
+    got = []
+    sim.process(consumer.poll_loop(got.append))
+    sim.run(until=sim.now + 6.0)
+
+    def publish():
+        yield from client.insert(row(3))
+
+    sim.run_process(publish())
+    sim.run(until=sim.now + 5.0)
+    consumer.stop()
+    assert len(got) == 1

@@ -1,0 +1,103 @@
+"""Tests for AnyOf / AllOf condition events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(10.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        return (sim.now, result)
+
+    when, result = sim.run_process(proc())
+    assert when == 1.0
+    assert list(result.values()) == ["fast"]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(5.0, value="b")
+        result = yield sim.all_of([a, b])
+        return (sim.now, sorted(result.values()))
+
+    when, values = sim.run_process(proc())
+    assert when == 5.0
+    assert values == ["a", "b"]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        result = yield sim.all_of([])
+        return result
+
+    assert sim.run_process(proc()) == {}
+
+
+def test_any_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        result = yield sim.any_of([])
+        return result
+
+    assert sim.run_process(proc()) == {}
+
+
+def test_condition_with_already_processed_child():
+    sim = Simulator()
+
+    def proc():
+        ev = sim.timeout(1.0, value="early")
+        yield sim.timeout(2.0)
+        result = yield sim.any_of([ev, sim.timeout(50.0)])
+        return (sim.now, list(result.values()))
+
+    when, values = sim.run_process(proc())
+    assert when == 2.0
+    assert values == ["early"]
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+
+    def failer():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaboom")
+
+    def proc():
+        with pytest.raises(RuntimeError, match="kaboom"):
+            yield sim.all_of([sim.process(failer()), sim.timeout(10.0)])
+        return sim.now
+
+    assert sim.run_process(proc()) == 1.0
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        sim1.any_of([sim1.timeout(1.0), sim2.timeout(1.0)])
+
+
+def test_timeout_race_is_usable_as_wait_with_deadline():
+    """The ack-or-timeout idiom used throughout the transports."""
+    sim = Simulator()
+
+    def proc():
+        ack = sim.event()
+        deadline = sim.timeout(5.0)
+        sim.call_at(2.0, lambda: ack.succeed("acked"))
+        result = yield sim.any_of([ack, deadline])
+        assert ack in result and deadline not in result
+        return sim.now
+
+    assert sim.run_process(proc()) == 2.0

@@ -1,0 +1,216 @@
+"""Unit tests for processes: suspension, return values, interrupts, waiting."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return "done"
+
+    assert sim.run_process(proc()) == "done"
+    assert sim.now == 3.0
+
+
+def test_process_receives_timeout_value():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(1.0, value="tick")
+        return got
+
+    assert sim.run_process(proc()) == "tick"
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(5.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value
+
+    assert sim.run_process(parent()) == 42
+    assert sim.now == 5.0
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+
+    def proc():
+        ev = sim.timeout(1.0, value="x")
+        yield sim.timeout(2.0)  # ev fires (and is processed) at t=1
+        got = yield ev
+        return (got, sim.now)
+
+    assert sim.run_process(proc()) == ("x", 2.0)
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise RuntimeError("child failed")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    assert sim.run_process(parent()) == "caught child failed"
+
+
+def test_unhandled_process_exception_raises_at_kernel():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise ValueError("unhandled")
+
+    sim.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        proc.interrupt("wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [(3.0, "wake up")]
+
+
+def test_interrupted_process_can_keep_running():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        return sim.now
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        proc.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert proc.ok and proc.value == 4.0
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_interrupted_timeout_does_not_resume_twice():
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(5.0)
+            resumes.append("timeout")
+        except Interrupt:
+            resumes.append("interrupt")
+        yield sim.timeout(10.0)
+        resumes.append("second sleep done")
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    # The original t=5 timeout must NOT resume the process mid-second-sleep.
+    assert resumes == ["interrupt", "second sleep done"]
+    assert sim.now == 12.0
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="non-event"):
+        sim.run()
+
+
+def test_cross_simulator_event_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+
+    def proc():
+        yield sim2.timeout(1.0)
+
+    sim1.process(proc())
+    with pytest.raises(RuntimeError, match="another simulator"):
+        sim1.run()
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event()  # never triggered
+
+    with pytest.raises(RuntimeError, match="did not finish"):
+        sim.run_process(stuck())
+
+
+def test_active_process_visible_during_resume():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        seen.append(sim.active_process)
+        yield sim.timeout(1.0)
+        seen.append(sim.active_process)
+
+    p = sim.process(proc())
+    sim.run()
+    assert seen == [p, p]
+    assert sim.active_process is None

@@ -1,0 +1,120 @@
+"""Tests for HTTP request/response over TCP."""
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.sim import Simulator
+from repro.transport import HttpClient, HttpServer, TcpTransport
+
+
+def setup_server(handler_work=0.0):
+    sim = Simulator(seed=3)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    served = []
+
+    def dispatcher(request, respond):
+        def work():
+            if handler_work:
+                yield from cluster.node("hydra2").execute(handler_work)
+            else:
+                yield sim.timeout(0.0)
+            served.append(request.path)
+            respond(200, {"echo": request.body}, 300)
+
+        sim.process(work())
+
+    server = HttpServer(sim, tcp, cluster.node("hydra2"), 8080, dispatcher)
+    return sim, cluster, tcp, server, served
+
+
+def test_request_response_round_trip():
+    sim, cluster, tcp, server, served = setup_server()
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        resp = yield from client.request("/insert", {"sql": "INSERT"}, 500)
+        return resp
+
+    resp = sim.run_process(run())
+    assert resp.status == 200
+    assert resp.body == {"echo": {"sql": "INSERT"}}
+    assert resp.latency > 0
+    assert served == ["/insert"]
+    assert server.requests_served == 1
+
+
+def test_keepalive_reuses_connection():
+    sim, cluster, tcp, server, served = setup_server()
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        r1 = yield from client.request("/a", None, 100)
+        ch = client._channel
+        r2 = yield from client.request("/b", None, 100)
+        return ch is client._channel and r1.status == r2.status == 200
+
+    assert sim.run_process(run()) is True
+    assert served == ["/a", "/b"]
+
+
+def test_server_work_adds_latency():
+    sim1, c1, t1, s1, _ = setup_server(handler_work=0.0)
+    client1 = HttpClient(sim1, t1, c1.node("hydra1"), "hydra2", 8080)
+
+    def quick():
+        r = yield from client1.request("/x", None, 100)
+        return r.latency
+
+    fast = sim1.run_process(quick())
+
+    sim2, c2, t2, s2, _ = setup_server(handler_work=0.5)
+    client2 = HttpClient(sim2, t2, c2.node("hydra1"), "hydra2", 8080)
+
+    def slow():
+        r = yield from client2.request("/x", None, 100)
+        return r.latency
+
+    assert sim2.run_process(slow()) > fast + 0.4
+
+
+def test_reconnect_after_server_closes_channel():
+    sim, cluster, tcp, server, served = setup_server()
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        r1 = yield from client.request("/a", None, 100)
+        client._channel.close()
+        r2 = yield from client.request("/b", None, 100)
+        return (r1.status, r2.status)
+
+    assert sim.run_process(run()) == (200, 200)
+
+
+def test_accept_hook_can_reject_connection():
+    sim = Simulator(seed=4)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+
+    from repro.transport import TransportError
+
+    def reject(ch):
+        raise TransportError("connector limit")
+
+    HttpServer(
+        sim, tcp, cluster.node("hydra2"), 8080,
+        dispatcher=lambda req, respond: None, accept_hook=reject,
+    )
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        yield from client.request("/a", None, 100)
+
+    with pytest.raises(TransportError, match="connector limit"):
+        sim.run_process(run())
+
+
+def test_server_close_unbinds_port():
+    sim, cluster, tcp, server, _ = setup_server()
+    server.close()
+    HttpServer(sim, tcp, cluster.node("hydra2"), 8080, lambda req, respond: None)

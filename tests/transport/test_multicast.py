@@ -1,0 +1,83 @@
+"""Tests for multicast fan-out."""
+
+from repro.cluster import HydraCluster
+from repro.sim import Simulator
+from repro.transport import MulticastGroup
+
+
+def setup(loss=0.0):
+    sim = Simulator(seed=5)
+    cluster = HydraCluster(sim)
+    group = MulticastGroup(sim, cluster.lan, "239.0.0.1", loss_probability=loss)
+    return sim, cluster, group
+
+
+def test_send_reaches_all_members():
+    sim, cluster, group = setup()
+    got = []
+    for name in ("hydra2", "hydra3", "hydra4"):
+        group.join(cluster.node(name), lambda p, lat, n=name: got.append((n, p)))
+
+    def sender():
+        n = yield from group.send(cluster.node("hydra1"), "tick", 400)
+        return n
+
+    reached = sim.run_process(sender())
+    sim.run()
+    assert reached == 3
+    assert sorted(g[0] for g in got) == ["hydra2", "hydra3", "hydra4"]
+    assert all(g[1] == "tick" for g in got)
+
+
+def test_sender_not_delivered_to_itself():
+    sim, cluster, group = setup()
+    got = []
+    group.join(cluster.node("hydra1"), lambda p, lat: got.append(p))
+    group.join(cluster.node("hydra2"), lambda p, lat: got.append(p))
+
+    def sender():
+        n = yield from group.send(cluster.node("hydra1"), "x", 100)
+        return n
+
+    assert sim.run_process(sender()) == 1
+    sim.run()
+    assert got == ["x"]
+
+
+def test_leave_stops_delivery():
+    sim, cluster, group = setup()
+    group.join(cluster.node("hydra2"), lambda p, lat: None)
+    assert group.member_count == 1
+    group.leave(cluster.node("hydra2"))
+    assert group.member_count == 0
+
+
+def test_lossy_multicast_reaches_subset():
+    sim, cluster, group = setup(loss=0.5)
+    counts = {"n": 0}
+    for name in ("hydra2", "hydra3", "hydra4", "hydra5"):
+        group.join(cluster.node(name), lambda p, lat: None)
+
+    def sender():
+        total = 0
+        for _ in range(50):
+            n = yield from group.send(cluster.node("hydra1"), "x", 100)
+            total += n
+        return total
+
+    total = sim.run_process(sender())
+    assert 40 < total < 160  # ~50% of 200
+
+
+def test_single_tx_serialization_for_group():
+    """Multicast charges the sender's NIC once per send, not per member."""
+    sim, cluster, group = setup()
+    for name in ("hydra2", "hydra3", "hydra4", "hydra5"):
+        group.join(cluster.node(name), lambda p, lat: None)
+
+    def sender():
+        yield from group.send(cluster.node("hydra1"), "x", 1000)
+
+    sim.run_process(sender())
+    sim.run()
+    assert cluster.lan.tx_link("hydra1").stats.frames == 1

@@ -1,0 +1,65 @@
+"""Tests for the TLS transport overhead model."""
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.sim import Simulator
+from repro.transport.tcp import TcpTransport
+from repro.transport.tls import TLS_HANDSHAKE_CPU, TlsTransport
+
+
+def connect_and_send(transport_cls, nbytes=10_000, messages=5):
+    sim = Simulator(seed=61)
+    cluster = HydraCluster(sim)
+    transport = transport_cls(sim, cluster.lan)
+    server_chans = []
+    transport.listen(cluster.node("hydra2"), 9000, server_chans.append)
+
+    def client():
+        t0 = sim.now
+        ch = yield from transport.connect(cluster.node("hydra1"), "hydra2", 9000)
+        connect_time = sim.now - t0
+        latencies = []
+        for _ in range(messages):
+            ev = yield from ch.send("m", nbytes)
+            yield ev
+            latencies.append(ev.value)
+        return connect_time, latencies
+
+    connect_time, latencies = sim.run_process(client())
+    return sim, cluster, connect_time, latencies
+
+
+def test_tls_handshake_slower_than_tcp():
+    _, _, tcp_connect, _ = connect_and_send(TcpTransport)
+    _, _, tls_connect, _ = connect_and_send(TlsTransport)
+    assert tls_connect > tcp_connect + 2 * TLS_HANDSHAKE_CPU
+
+
+def test_tls_per_message_overhead():
+    _, _, _, tcp_lat = connect_and_send(TcpTransport)
+    _, _, _, tls_lat = connect_and_send(TlsTransport)
+    assert sum(tls_lat) > sum(tcp_lat)
+
+
+def test_tls_delivers_payload_intact():
+    sim = Simulator(seed=62)
+    cluster = HydraCluster(sim)
+    tls = TlsTransport(sim, cluster.lan)
+    chans = []
+    tls.listen(cluster.node("hydra2"), 9000, chans.append)
+
+    def client():
+        ch = yield from tls.connect(cluster.node("hydra1"), "hydra2", 9000)
+        ev = yield from ch.send({"secret": 42}, 500)
+        yield ev
+
+    sim.run_process(client())
+    assert chans[0].inbox.get_nowait().payload == {"secret": 42}
+
+
+def test_tls_charges_cpu_on_both_ends():
+    sim, cluster, _, _ = connect_and_send(TlsTransport, nbytes=500_000, messages=2)
+    sim.run()
+    assert cluster.node("hydra1").cpu_busy_time > 0.05  # encrypt + handshake
+    assert cluster.node("hydra2").cpu_busy_time > 0.05  # decrypt + handshake

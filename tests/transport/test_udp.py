@@ -1,0 +1,160 @@
+"""Tests for UDP: raw loss, acked mode, retransmission, dedupe."""
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.sim import Simulator
+from repro.transport import MessageLost, UdpTransport
+
+
+def setup(**kw):
+    sim = Simulator(seed=2)
+    cluster = HydraCluster(sim)
+    udp = UdpTransport(sim, cluster.lan, **kw)
+    return sim, cluster, udp
+
+
+def connect(sim, cluster, udp, server_chans):
+    udp.listen(cluster.node("hydra2"), 9100, server_chans.append)
+
+    def client():
+        ch = yield from udp.connect(cluster.node("hydra1"), "hydra2", 9100)
+        return ch
+
+    return sim.run_process(client())
+
+
+def test_connect_without_listener_raises():
+    from repro.transport import TransportError
+
+    sim, cluster, udp = setup()
+
+    def client():
+        yield from udp.connect(cluster.node("hydra1"), "hydra2", 9100)
+
+    with pytest.raises(TransportError):
+        sim.run_process(client())
+
+
+def test_lossless_unacked_delivery():
+    sim, cluster, udp = setup(loss_probability=0.0, acked=False)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+
+    def client():
+        ev = yield from ch.send("hello", 200)
+        yield ev
+        return ev.value
+
+    latency = sim.run_process(client())
+    assert latency > 0
+    assert len(server_chans[0].inbox) == 1
+
+
+def test_unacked_loss_raises_message_lost():
+    sim, cluster, udp = setup(loss_probability=0.5, acked=False)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+    lost = delivered = 0
+
+    def client():
+        nonlocal lost, delivered
+        for _ in range(100):
+            try:
+                yield from ch.send("m", 200)
+                delivered += 1
+            except MessageLost:
+                lost += 1
+
+    sim.run_process(client())
+    assert lost > 20
+    assert delivered > 20
+    assert ch.datagrams_lost == lost
+
+
+def test_acked_mode_recovers_from_loss():
+    """With retransmission, high raw loss still yields ~full delivery."""
+    sim, cluster, udp = setup(loss_probability=0.15, acked=True, max_retries=5)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+    ok = 0
+
+    def client():
+        nonlocal ok
+        for _ in range(100):
+            try:
+                yield from ch.send("m", 200)
+                ok += 1
+            except MessageLost:
+                pass
+
+    sim.run_process(client())
+    assert ok >= 98
+    assert len(server_chans[0].inbox) == ok  # dedupe: no duplicates
+    assert ch.retransmissions > 0
+
+
+def test_acked_send_blocks_for_ack_round_trip():
+    sim, cluster, udp = setup(loss_probability=0.0, acked=True)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+
+    def client():
+        t0 = sim.now
+        ev = yield from ch.send("m", 200)
+        assert ev.processed  # delivery already happened when send returns
+        return sim.now - t0
+
+    elapsed = sim.run_process(client())
+    # Must include at least two one-way trips (data + ack).
+    sim2, cluster2, udp2 = setup(loss_probability=0.0, acked=False)
+    chans2 = []
+    ch2 = connect(sim2, cluster2, udp2, chans2)
+
+    def one_way():
+        ev = yield from ch2.send("m", 200)
+        yield ev
+        return ev.value
+
+    ow = sim2.run_process(one_way())
+    assert elapsed > 1.5 * ow
+
+
+def test_acked_gives_up_after_max_retries():
+    sim, cluster, udp = setup(loss_probability=1.0, acked=True, max_retries=2, rto=0.05)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+
+    def client():
+        t0 = sim.now
+        with pytest.raises(MessageLost):
+            yield from ch.send("m", 200)
+        return sim.now - t0
+
+    elapsed = sim.run_process(client())
+    # 3 attempts x 0.05 s RTO.
+    assert elapsed == pytest.approx(0.15, rel=0.2)
+    assert ch.datagrams_lost == 1
+
+
+def test_retransmission_adds_latency_tail():
+    """Messages that needed a retransmit arrive >= RTO later: the mechanism
+    behind UDP's fat percentile tail in paper Fig 4."""
+    sim, cluster, udp = setup(loss_probability=0.3, acked=True, rto=0.1, max_retries=8)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+    times = []
+
+    def client():
+        for _ in range(60):
+            t0 = sim.now
+            try:
+                yield from ch.send("m", 200)
+                times.append(sim.now - t0)
+            except MessageLost:
+                pass
+
+    sim.run_process(client())
+    fast = min(times)
+    slow = max(times)
+    assert slow >= fast + 0.1  # at least one RTO in the tail

@@ -1,0 +1,141 @@
+"""Tests for the SOAP codec and the WS publishing proxy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.jms import MapMessage, Topic
+from repro.narada import Broker, narada_connection_factory
+from repro.powergrid import narada_map_message
+from repro.powergrid.generator import PowerGenerator
+from repro.sim import Simulator
+from repro.transport import TcpTransport
+from repro.webservices import SoapCodec, WsPublishProxy, WsPublisherClient
+
+TOPIC = Topic("power.monitoring")
+
+
+def monitoring_message(gen_id=1):
+    gen = PowerGenerator(gen_id, np.random.default_rng(3))
+    return narada_map_message(gen.sample(10.0))
+
+
+# ---------------------------------------------------------------------- codec
+def test_xml_expansion_is_severalfold():
+    codec = SoapCodec()
+    message = monitoring_message()
+    message.destination = TOPIC
+    factor = codec.expansion_factor(message)
+    assert 2.0 < factor < 10.0
+
+
+def test_float_values_counted():
+    codec = SoapCodec()
+    encoding = codec.encode(monitoring_message())
+    # Paper payload: 5 floats + 3 doubles.
+    assert encoding.float_values == 8
+
+
+def test_encode_cpu_scales_with_floats():
+    codec = SoapCodec()
+    few = MapMessage()
+    few.set_string("s", "x")
+    many = MapMessage()
+    for i in range(20):
+        many.set_double(f"d{i}", 1.0)
+    assert codec.encode(many).encode_cpu > codec.encode(few).encode_cpu
+
+
+def test_non_map_messages_encodable():
+    from repro.jms import TextMessage
+
+    codec = SoapCodec()
+    encoding = codec.encode(TextMessage("hello world"))
+    assert encoding.xml_bytes > len("hello world")
+
+
+# ---------------------------------------------------------------------- proxy
+def build_proxy_env():
+    sim = Simulator(seed=63)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    broker = Broker(sim, cluster.node("hydra1"), "b")
+    broker.serve(tcp, 5045)
+    # Native subscriber.
+    got = []
+
+    def subscribe():
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node("hydra3"), "hydra1", 5045
+        )
+        conn = yield from factory.create_connection()
+        conn.start()
+        session = conn.create_session()
+        yield from session.create_subscriber(TOPIC, listener=got.append)
+
+    sim.run_process(subscribe())
+
+    # The proxy, with its own JMS connection, on hydra2.
+    def build_proxy():
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node("hydra2"), "hydra1", 5045
+        )
+        conn = yield from factory.create_connection()
+        conn.start()
+        return WsPublishProxy(
+            sim, cluster.node("hydra2"), tcp, 8099, conn, TOPIC
+        )
+
+    proxy = sim.run_process(build_proxy())
+    return sim, cluster, tcp, broker, proxy, got
+
+
+def test_ws_publish_reaches_native_subscriber():
+    sim, cluster, tcp, broker, proxy, got = build_proxy_env()
+    client = WsPublisherClient(sim, tcp, cluster.node("hydra4"), "hydra2", 8099)
+
+    def publish():
+        latency = yield from client.publish(monitoring_message(7))
+        return latency
+
+    latency = sim.run_process(publish())
+    sim.run(until=sim.now + 2.0)
+    assert len(got) == 1
+    assert got[0].get_int("genid") == 7
+    assert proxy.published == 1
+    assert latency > 0
+
+
+def test_ws_path_much_slower_than_native_jms():
+    """The §III.D claim: SOAP publishing costs ~an order of magnitude more."""
+    sim, cluster, tcp, broker, proxy, got = build_proxy_env()
+    ws_client = WsPublisherClient(sim, tcp, cluster.node("hydra4"), "hydra2", 8099)
+
+    def ws_publish():
+        times = []
+        for i in range(10):
+            latency = yield from ws_client.publish(monitoring_message(i))
+            times.append(latency)
+            yield sim.timeout(0.1)
+        return times
+
+    ws_times = sim.run_process(ws_publish())
+
+    def native_publish():
+        factory = narada_connection_factory(
+            sim, tcp, cluster.node("hydra4"), "hydra1", 5045
+        )
+        conn = yield from factory.create_connection()
+        conn.start()
+        session = conn.create_session()
+        pub = session.create_publisher(TOPIC)
+        times = []
+        for i in range(10):
+            t0 = sim.now
+            yield from pub.publish(monitoring_message(i))
+            times.append(sim.now - t0)
+            yield sim.timeout(0.1)
+        return times
+
+    native_times = sim.run_process(native_publish())
+    assert sum(ws_times) > 4 * sum(native_times)
