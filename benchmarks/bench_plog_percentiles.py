@@ -1,0 +1,24 @@
+"""Partitioned log single broker: percentile of RTT per connection count.
+
+The Fig 8 analogue for the commit log.  Expected shape: tails flatten out
+instead of exploding with load — fetch batching amortises the per-message
+broker work that grows per-connection in Narada, so the p95→p100 spread
+stays bounded even at 12,000 connections.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_plog_percentiles(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "plog_percentiles", scale, save_result)
+
+    assert result.series, "every non-OOM sweep point contributes a curve"
+    for label, points in result.series.items():
+        values = [p.y for p in sorted(points, key=lambda p: p.x)]
+        # Monotone by construction (percentiles), and the whole tail —
+        # including the p100 maximum — stays inside the 5 s deadline.
+        assert values == sorted(values)
+        assert values[-1] < 5000, f"{label}: p100 {values[-1]:.0f} ms"
+
+    # Curves exist past the Narada wall.
+    assert any(int(label) >= 8000 for label in result.series)

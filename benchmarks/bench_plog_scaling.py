@@ -1,0 +1,40 @@
+"""Partitioned log: RTT and §I SLA compliance vs connections.
+
+The question §V leaves open: does *any* pub/sub architecture satisfy the
+grid requirement at 10,000+ generators?  Expected shape: the single plog
+broker sails straight past Narada's 4000-connection OOM wall with a flat,
+fixed-size thread pool; RTT stays linger-dominated (tens to low hundreds of
+ms — far inside the 5 s deadline) and loss stays zero, so every swept load
+is SLA-PASS.  Spreading partitions over four brokers carries 16,000.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_plog_scaling(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "plog_scaling", scale, save_result)
+    rtt = {p.x: p.y for p in result.series["RTT"]}
+    rtt2 = {p.x: p.y for p in result.series["RTT2"]}
+
+    # No OOM wall: every single-broker sweep point survives, including the
+    # counts Narada refuses (its wall is at ~3600 threads, paper §III.E.2).
+    assert 4000 in rtt and 8000 in rtt and 12000 in rtt
+    assert not any("OOM" in note for note in result.notes)
+
+    # Latency is batching-dominated, not connection-dominated: even at 12k
+    # connections the mean RTT stays orders of magnitude inside the 5 s
+    # deadline (vs the linger floor of ~50 ms at light load).
+    assert all(40 < v < 1000 for v in rtt.values())
+    assert rtt[12000] < 10 * rtt[min(rtt)]
+
+    # The headline: §I soft real-time compliance at >= 10,000 connections.
+    verdicts = {row[1]: row[6] for row in result.table[1]}
+    assert all(v == "PASS" for v in verdicts.values())
+    assert any(n >= 10000 and verdicts[n] == "PASS" for n in verdicts)
+
+    # Four-broker spread reaches 16,000 connections.
+    assert max(rtt2) >= 16000
+    assert all(v < 1000 for v in rtt2.values())
+
+    # The structural story is recorded: fixed thread pool, no thread wall.
+    assert any("no" in note and "thread" in note for note in result.notes)

@@ -1,0 +1,37 @@
+"""Fig 15 extended: RTT = PRT + PT + SRT for all three middlewares.
+
+Expected ordering: Narada's phases are all short (milliseconds); the plog
+sits an order of magnitude above it — its PRT is the produce-ack round trip
+and includes the producer's ~50 ms linger — but two orders below R-GMA's
+mediated SQL pipeline, whose PT dominates at seconds.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig15_threeway(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "fig15_threeway", scale, save_result)
+    rows = {row[0]: row[1:] for row in result.table[1]}
+    assert set(rows) == {"RGMA", "Narada", "Plog"}
+
+    plog_prt, plog_pt, plog_srt, plog_rtt = rows["Plog"]
+    narada_rtt = rows["Narada"][3]
+    rgma_rtt = rows["RGMA"][3]
+
+    # Three distinct latency regimes: ms / tens-of-ms / seconds.
+    assert narada_rtt < plog_rtt < rgma_rtt
+    assert rgma_rtt > 10 * plog_rtt
+
+    # The linger lives in the plog's PRT, so PRT dominates its breakdown;
+    # PT (ack-to-arrival) may be small or slightly negative (the ack races
+    # the woken fetch) but the phases still sum to the RTT.
+    assert plog_prt > plog_srt
+    assert abs((plog_prt + plog_pt + plog_srt) - plog_rtt) < 1e-6
+
+    # Each system's series is cumulative over the four phase boundaries.
+    for label in ("RGMA", "Narada", "Plog"):
+        ys = [p.y for p in sorted(result.series[label], key=lambda p: p.x)]
+        assert len(ys) == 4
+        assert ys[0] == 0.0
+
+    assert any("linger" in note for note in result.notes)

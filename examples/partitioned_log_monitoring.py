@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Grid monitoring over a partitioned commit log (the third candidate).
+
+The same §I scenario as powergrid_monitoring.py — a fleet of generators
+publishing power output and voltage every 10 s — but carried by a
+Kafka-style partitioned log (repro.plog) instead of a Narada broker: the
+topic is split into partitions hashed by generator id, producers batch
+with a 50 ms linger, and a consumer group of four members (one per client
+node) long-polls its assigned partitions.
+
+The interesting contrast: the broker runs a fixed-size I/O thread pool, so
+connection count never hits Narada's thread-per-connection memory wall —
+try 8000 generators here, twice what the Narada broker refuses.
+
+Run:  python examples/partitioned_log_monitoring.py [n_generators]
+"""
+
+import sys
+
+from repro.cluster import HydraCluster, VmStat
+from repro.core import RecordBook, rtt_stats
+from repro.core.metrics import percentile_curve, soft_realtime_compliance
+from repro.plog import PlogDeployment
+from repro.powergrid import FleetConfig, PlogFleet, PlogReceiver
+from repro.sim import Simulator
+from repro.transport import TcpTransport
+
+CLIENT_NODES = ("hydra5", "hydra6", "hydra7", "hydra8")
+
+
+def main(n_generators: int = 2000) -> None:
+    sim = Simulator(seed=7)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+
+    deployment = PlogDeployment(sim, cluster, tcp, broker_hosts=("hydra1",))
+    deployment.serve()
+    vmstat = VmStat(sim, cluster.node("hydra1"))
+
+    book = RecordBook()
+    creation_interval = min(0.02, 80.0 / n_generators)
+    fleet_config = FleetConfig(
+        n_generators=n_generators,
+        publish_interval=10.0,
+        creation_interval=creation_interval,
+        warmup_min=4.0,
+        warmup_max=8.0,
+        duration=60.0,
+        client_nodes=CLIENT_NODES,
+    )
+
+    # One consumer-group member per client node; the coordinator splits the
+    # topic's partitions evenly among them (no per-receiver subscriptions).
+    receivers = [
+        PlogReceiver(sim, cluster, deployment, node) for node in CLIENT_NODES
+    ]
+    for receiver in receivers:
+        receiver.start()
+
+    fleet = PlogFleet(sim, cluster, deployment, fleet_config, book)
+    fleet.start()
+
+    print(f"simulating {n_generators} generators over "
+          f"{deployment.n_partitions} partitions ...")
+    sim.run(until=n_generators * creation_interval + 8.0 + 60.0 + 15.0)
+
+    stats = rtt_stats(book)
+    print(f"\nmessages: {stats.sent} sent, {stats.count} received "
+          f"(loss {stats.loss_rate:.3%})")
+    print(f"RTT: mean {stats.mean_ms:.2f} ms, stddev {stats.stddev_ms:.2f} ms, "
+          f"max {stats.max_ms:.1f} ms  (the ~50 ms floor is the linger)")
+    print("percentiles:", "  ".join(
+        f"p{p:.0f}={ms:.1f}ms" for p, ms in percentile_curve(book.rtts())
+    ))
+
+    ok, frac_bad, loss = soft_realtime_compliance(
+        book, deadline_s=5.0, max_loss=0.005
+    )
+    verdict = "MEETS" if ok else "VIOLATES"
+    print(f"\nsoft real-time requirement (5 s deadline, <0.5% late/lost): "
+          f"{verdict} ({frac_bad:.3%} late or lost)")
+
+    broker = deployment.brokers[0]
+    print(f"\nbroker: {broker.stats.connections_accepted} connections, "
+          f"{broker.jvm.threads_peak} JVM threads (fixed pool — no "
+          f"thread-per-connection wall), "
+          f"{broker.stats.records_appended} records appended in "
+          f"{broker.stats.produce_batches} batches")
+    print("consumer group:", "  ".join(
+        f"{r.consumer.name}={len(r.consumer.assigned)}p" for r in receivers
+    ))
+    summary = vmstat.summary()
+    print(f"broker node: CPU idle {summary.mean_cpu_idle_percent:.1f}%, "
+          f"memory consumption {summary.memory_consumption_mb:.0f} MB")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

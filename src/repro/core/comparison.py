@@ -115,9 +115,15 @@ def rate_middleware(m: MiddlewareMeasurements) -> MiddlewareRating:
 
 
 def table_iii(
-    rgma: MiddlewareMeasurements, narada: MiddlewareMeasurements
+    *measurements: MiddlewareMeasurements,
 ) -> tuple[list[str], list[list[str]]]:
-    """Headers + rows in the paper's Table III layout."""
+    """Headers + rows in the paper's Table III layout.
+
+    The paper rates two systems (R-GMA, Narada); any number of
+    :class:`MiddlewareMeasurements` can be passed to extend the table with
+    further candidates (e.g. the partitioned commit log), one row each in
+    argument order.
+    """
     headers = [
         "",
         "Real-time performance",
@@ -125,7 +131,7 @@ def table_iii(
         "Scalability",
     ]
     rows = []
-    for m in (rgma, narada):
+    for m in measurements:
         r = rate_middleware(m)
         rows.append([r.name, r.realtime.value, r.concurrency.value, r.scalability.value])
     return headers, rows

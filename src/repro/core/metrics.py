@@ -52,13 +52,20 @@ class PhaseBreakdown:
 
 
 def rtt_stats(book: RecordBook, since: float = 0.0) -> RttStats:
-    """Mean/STDDEV RTT and loss over messages sent at/after ``since``."""
+    """Mean/STDDEV RTT and loss over messages sent at/after ``since``.
+
+    Edge cases: an empty window (nothing sent) is all-zeros with zero loss;
+    a window where everything sent was lost keeps NaN latencies (there is
+    no RTT to report, and a zero would read as "instant") with loss 1.0.
+    """
     relevant = [r for r in book.records if r.t_before_send >= since]
     sent = len(relevant)
     rtts = np.array([r.rtt for r in relevant if r.delivered], dtype=float)
     if rtts.size == 0:
+        if sent == 0:
+            return RttStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
         return RttStats(0, sent, float("nan"), float("nan"), float("nan"),
-                        float("nan"), 1.0 if sent else 0.0)
+                        float("nan"), 1.0)
     return RttStats(
         count=int(rtts.size),
         sent=sent,
@@ -84,11 +91,13 @@ def percentile_curve(
     """(percentile, RTT ms) pairs — one figure series.
 
     ``numpy.percentile`` with linear interpolation; the 100th percentile is
-    the maximum, matching how the paper's plots terminate.
+    the maximum, matching how the paper's plots terminate.  No samples →
+    no curve (an empty list, not NaN points, so plots and tables simply
+    omit the series instead of rendering NaNs).
     """
     arr = np.asarray(rtts_seconds, dtype=float)
     if arr.size == 0:
-        return [(p, float("nan")) for p in points]
+        return []
     values = np.percentile(arr, list(points)) * 1e3
     return [(float(p), float(v)) for p, v in zip(points, values)]
 
@@ -97,10 +106,15 @@ def within_threshold(
     rtts_seconds: Sequence[float] | np.ndarray, threshold_s: float
 ) -> float:
     """Fraction of messages within ``threshold_s`` (e.g. the paper's
-    '99.8% of messages arrived within 100 milliseconds')."""
+    '99.8% of messages arrived within 100 milliseconds').
+
+    With zero samples the constraint is vacuously satisfied (1.0); note
+    that loss is tracked separately, so "nothing delivered" shows up in
+    ``loss_rate``, not here.
+    """
     arr = np.asarray(rtts_seconds, dtype=float)
     if arr.size == 0:
-        return float("nan")
+        return 1.0
     return float((arr <= threshold_s).mean())
 
 

@@ -1,0 +1,312 @@
+"""Partitioned-log experiments: the third middleware candidate.
+
+The paper's §V diagnosis is that neither measured system scales past a few
+thousand generators: Narada's thread-per-connection broker hits its memory
+wall near 4000 connections and the v1.1.3 DBN floods every event to every
+broker; R-GMA's mediated SQL pipeline has second-scale process time.  These
+experiments put a Kafka-style partitioned commit log (:mod:`repro.plog`) on
+the same Hydra testbed, same workload, same metrics — and sweep *past* the
+4000-connection wall to ask whether the §I soft-real-time requirement
+(delivery within ~5 s, delays/loss under 0.5 %) holds at 10,000+
+generators.
+
+One building block — :func:`plog_run` — mirrors
+:func:`repro.harness.narada_experiments.narada_run` exactly: same client
+nodes, same staggered fleet, same steady-state measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster import HydraCluster, VmStat
+from repro.cluster.vmstat import VmStatSummary
+from repro.core import ExperimentResult, RecordBook, percentile_curve, rtt_stats
+from repro.core.metrics import soft_realtime_compliance
+from repro.harness.narada_experiments import steady_state_summary
+from repro.harness.scale import Scale
+from repro.plog import PlogConfig, PlogDeployment
+from repro.powergrid import FleetConfig, PlogFleet, PlogReceiver
+from repro.sim import Simulator
+from repro.transport import TcpTransport
+
+CLIENT_NODES = ("hydra5", "hydra6", "hydra7", "hydra8")
+BROKER_NODES_SINGLE = ("hydra1",)
+BROKER_NODES_SPREAD = ("hydra1", "hydra2", "hydra3", "hydra4")
+
+#: Above this connection count the creation stagger is compressed so the
+#: ramp-up phase stays bounded (the steady-state window is what we measure;
+#: connection *count*, not arrival rate, is the independent variable).
+CREATION_CAP_CONNECTIONS = 4000
+
+
+@dataclass
+class PlogRunResult:
+    """Everything one partitioned-log test run produces."""
+
+    connections: int
+    n_brokers: int
+    book: RecordBook
+    measure_since: float
+    vmstat: dict[str, VmStatSummary]
+    oom: bool
+    refused: int
+    sent: int
+    received: int
+    mean_rtt_ms: float
+    stddev_rtt_ms: float
+    loss_rate: float
+    #: §I requirement at this load: (compliant, frac_late_or_lost, loss).
+    compliant: bool
+    frac_late_or_lost: float
+    rtts: Any  # np.ndarray of measured-window RTT seconds
+    broker_stats: dict[str, Any] = field(default_factory=dict)
+    duplicates: int = 0
+
+
+def plog_run(
+    connections: int,
+    *,
+    n_brokers: int = 1,
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    config: Optional[PlogConfig] = None,
+    deadline_s: float = 5.0,
+) -> PlogRunResult:
+    """One grid-monitoring test: ``connections`` generators against a
+    partitioned-log deployment of ``n_brokers`` brokers, measured in steady
+    state."""
+    scale = scale or Scale.from_env()
+    sim = Simulator(seed=seed)
+    cluster = HydraCluster(sim)
+    transport = TcpTransport(sim, cluster.lan)
+    config = config or PlogConfig()
+
+    broker_nodes = (
+        BROKER_NODES_SPREAD[:n_brokers] if n_brokers > 1 else BROKER_NODES_SINGLE
+    )
+    deployment = PlogDeployment(
+        sim, cluster, transport, broker_hosts=broker_nodes, config=config
+    )
+    deployment.serve()
+    vmstats = {
+        node_name: VmStat(sim, cluster.node(node_name)) for node_name in broker_nodes
+    }
+
+    creation_interval = scale.creation_interval_narada * min(
+        1.0, CREATION_CAP_CONNECTIONS / max(1, connections)
+    )
+    creation_span = connections * creation_interval
+    measure_since = sim.now + creation_span + scale.warmup[1] + 2.0
+    stop_at = measure_since + scale.duration
+    fleet_config = FleetConfig(
+        n_generators=connections,
+        publish_interval=10.0,
+        creation_interval=creation_interval,
+        warmup_min=scale.warmup[0],
+        warmup_max=scale.warmup[1],
+        duration=scale.duration,
+        stop_at=stop_at,
+        client_nodes=CLIENT_NODES,
+    )
+    book = RecordBook()
+
+    # One consumer-group member per client node ("data were received by the
+    # node where they were sent", §III.E.2) — the coordinator splits the
+    # topic's partitions evenly among them.
+    receivers = [
+        PlogReceiver(sim, cluster, deployment, client_node)
+        for client_node in CLIENT_NODES
+    ]
+    for receiver in receivers:
+        receiver.start()
+
+    fleet = PlogFleet(sim, cluster, deployment, fleet_config, book)
+    fleet.start()
+
+    sim.run(until=stop_at + scale.drain)
+    for vm in vmstats.values():
+        vm.stop()
+
+    stats = rtt_stats(book, since=measure_since)
+    rtts = book.rtts(since=measure_since)
+    compliant, frac_late, loss = soft_realtime_compliance(
+        book, deadline_s=deadline_s, since=measure_since
+    )
+    refused = fleet.stats.connections_refused
+    return PlogRunResult(
+        connections=connections,
+        n_brokers=len(broker_nodes),
+        book=book,
+        measure_since=measure_since,
+        vmstat={
+            name: steady_state_summary(vm, measure_since)
+            for name, vm in vmstats.items()
+        },
+        oom=refused > 0,
+        refused=refused,
+        sent=stats.sent,
+        received=stats.count,
+        mean_rtt_ms=stats.mean_ms,
+        stddev_rtt_ms=stats.stddev_ms,
+        loss_rate=stats.loss_rate,
+        compliant=compliant,
+        frac_late_or_lost=frac_late,
+        rtts=rtts,
+        broker_stats={
+            b.name: {
+                "connections": b.stats.connections_accepted,
+                "produce_batches": b.stats.produce_batches,
+                "records_appended": b.stats.records_appended,
+                "records_fetched": b.stats.records_fetched,
+                "records_dropped": b.stats.records_dropped,
+                "fetches": b.stats.fetches,
+                "threads_peak": b.jvm.threads_peak,
+                "heap_committed": b.jvm.committed_bytes,
+            }
+            for b in deployment.brokers
+        },
+        duplicates=sum(r.duplicates for r in receivers),
+    )
+
+
+# ----------------------------------------------------------- scaling sweeps
+
+#: Single broker, swept straight through (and past) the Narada OOM wall.
+SINGLE_SWEEP = (1000, 2000, 4000, 8000, 12000)
+#: Four brokers, partitions spread round-robin over them.
+SPREAD_SWEEP = (4000, 8000, 12000, 16000)
+
+
+def run_scaling_sweep(
+    connections: tuple[int, ...],
+    n_brokers: int = 1,
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+) -> dict[int, PlogRunResult]:
+    return {
+        n: plog_run(n, n_brokers=n_brokers, scale=scale, seed=seed)
+        for n in connections
+    }
+
+
+def plog_scaling(
+    single: dict[int, PlogRunResult], spread: dict[int, PlogRunResult]
+) -> ExperimentResult:
+    """RTT / STDDEV vs connections with the §I compliance verdict per load."""
+    result = ExperimentResult(
+        "plog_scaling",
+        "Partitioned log: RTT and soft-real-time compliance vs connections",
+        "concurrent connections",
+        "millisecond",
+    )
+    headers = [
+        "brokers", "connections", "RTT (ms)", "STDDEV (ms)", "loss rate",
+        "late/lost", "SLA (<=5s, <0.5%)",
+    ]
+    rows: list[list[Any]] = []
+    for label, prefix, sweep in (
+        ("single broker", "", single),
+        ("4-broker spread", "2", spread),
+    ):
+        for n, run in sorted(sweep.items()):
+            if run.oom:
+                result.note(
+                    f"{label} OOM at {n} connections ({run.refused} refused)"
+                )
+                continue
+            result.add_point("RTT" + prefix, n, run.mean_rtt_ms)
+            result.add_point("STDDEV" + prefix, n, run.stddev_rtt_ms)
+            rows.append([
+                label, n, run.mean_rtt_ms, run.stddev_rtt_ms,
+                f"{run.loss_rate:.4%}", f"{run.frac_late_or_lost:.4%}",
+                "PASS" if run.compliant else "FAIL",
+            ])
+    result.table = (headers, rows)
+    biggest = max(
+        (n for n, r in single.items() if not r.oom and r.compliant),
+        default=None,
+    )
+    if biggest is not None:
+        run = single[biggest]
+        threads = run.broker_stats["plog-hydra1"]["threads_peak"]
+        result.note(
+            f"single broker meets the §I soft-real-time requirement at "
+            f"{biggest} connections with {threads} JVM threads — no "
+            "thread-per-connection wall (Narada refuses connections near "
+            "4000, paper §III.E.2)"
+        )
+    return result
+
+
+def plog_percentiles(single: dict[int, PlogRunResult]) -> ExperimentResult:
+    """Percentile-of-RTT curves (the Fig 8 analogue for the commit log)."""
+    result = ExperimentResult(
+        "plog_percentiles",
+        "Partitioned log single broker, percentile of RTT",
+        "percentile",
+        "millisecond",
+    )
+    for n, run in sorted(single.items()):
+        if run.oom:
+            continue
+        for pct, ms in percentile_curve(run.rtts):
+            result.add_point(str(n), pct, ms)
+    result.note(
+        "tails stay flat with connection count: fetch batching amortises "
+        "per-message broker work that grows per-connection in Narada"
+    )
+    return result
+
+
+def fig15_threeway(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    connections: int = 400,
+) -> ExperimentResult:
+    """Fig 15 extended: RTT = PRT + PT + SRT for all three middlewares."""
+    from repro.core import decompose
+    from repro.harness.narada_experiments import narada_run
+    from repro.harness.rgma_experiments import rgma_run
+
+    result = ExperimentResult(
+        "fig15_threeway",
+        "RTT decomposition, three middlewares (cumulative ms per phase)",
+        "phase",
+        "millisecond",
+    )
+    phases_labels = (
+        "before_sending", "after_sending", "before_receiving", "after_receiving"
+    )
+    runs = (
+        ("RGMA", rgma_run(connections, scale=scale, seed=seed)),
+        ("Narada", narada_run(connections, scale=scale, seed=seed)),
+        ("Plog", plog_run(connections, scale=scale, seed=seed)),
+    )
+    rows = []
+    for label, run in runs:
+        phases = decompose(run.book, since=run.measure_since)
+        cumulative = [
+            0.0,
+            phases.prt_ms,
+            phases.prt_ms + phases.pt_ms,
+            phases.prt_ms + phases.pt_ms + phases.srt_ms,
+        ]
+        for x, value in enumerate(cumulative):
+            result.add_point(label, x, value)
+        rows.append(
+            [label, phases.prt_ms, phases.pt_ms, phases.srt_ms, phases.rtt_ms]
+        )
+    result.table = (
+        ["system", "PRT (ms)", "PT (ms)", "SRT (ms)", "RTT (ms)"], rows
+    )
+    result.meta["phases"] = phases_labels
+    result.note(
+        "plog PRT is the produce acknowledgement round trip, which includes "
+        "the producer's linger; the ack races the consumer's woken fetch, so "
+        "PT (ack-to-arrival) can be small or slightly negative — batching "
+        "buys fan-in scalability with tens of milliseconds of added latency, "
+        "far inside the §I ~5 s budget"
+    )
+    return result

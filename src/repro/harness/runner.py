@@ -1,29 +1,47 @@
 """Experiment registry, sweep caching and the CLI entry point.
 
 Several figures share the same underlying sweeps (Figs 6, 7, 8, 9 all read
-the Narada scaling runs; Figs 11-14 the R-GMA ones), so sweeps are cached
-per (kind, scale, seed) within the process.
+the Narada scaling runs; Figs 11-14 the R-GMA ones; the plog figures the
+partitioned-log ones), so sweeps are cached per (kind, scale, seed) within
+the process.  The cache is LRU-bounded: sweeps hold whole record books, so
+an unbounded cache grows without limit when many (scale, seed) combinations
+run in one process (e.g. a benchmark session).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from collections import OrderedDict
 from typing import Any, Callable, Optional
 
 from repro.cluster.hydra import HYDRA_SPEC
 from repro.core import ExperimentResult
 from repro.core.comparison import MiddlewareMeasurements, table_iii
-from repro.harness import decomposition, narada_experiments, rgma_experiments
+from repro.harness import (
+    decomposition,
+    narada_experiments,
+    plog_experiments,
+    rgma_experiments,
+)
 from repro.harness.scale import Scale
 
-_sweep_cache: dict[tuple, Any] = {}
+#: Max cached sweeps.  There are ~7 sweep kinds, so one (scale, seed)
+#: combination fits entirely; older entries evict LRU-first beyond that.
+SWEEP_CACHE_MAX = 8
+
+_sweep_cache: "OrderedDict[tuple, Any]" = OrderedDict()
 
 
 def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
-    if key not in _sweep_cache:
-        _sweep_cache[key] = builder()
-    return _sweep_cache[key]
+    if key in _sweep_cache:
+        _sweep_cache.move_to_end(key)
+        return _sweep_cache[key]
+    value = builder()
+    _sweep_cache[key] = value
+    while len(_sweep_cache) > SWEEP_CACHE_MAX:
+        _sweep_cache.popitem(last=False)
+    return value
 
 
 def clear_cache() -> None:
@@ -74,6 +92,24 @@ def _rgma_distributed(scale: Scale, seed: int):
             distributed=True,
             scale=scale,
             seed=seed,
+        ),
+    )
+
+
+def _plog_single(scale: Scale, seed: int):
+    return _cached(
+        ("plog_single", scale.name, seed),
+        lambda: plog_experiments.run_scaling_sweep(
+            plog_experiments.SINGLE_SWEEP, n_brokers=1, scale=scale, seed=seed
+        ),
+    )
+
+
+def _plog_spread(scale: Scale, seed: int):
+    return _cached(
+        ("plog_spread", scale.name, seed),
+        lambda: plog_experiments.run_scaling_sweep(
+            plog_experiments.SPREAD_SWEEP, n_brokers=4, scale=scale, seed=seed
         ),
     )
 
@@ -190,6 +226,72 @@ def _table3(scale: Scale, seed: int) -> ExperimentResult:
     )
     result.meta["narada"] = narada
     result.meta["rgma"] = rgma
+    return result
+
+
+# ------------------------------------------------- partitioned-log candidate
+
+def _plog_scaling(scale: Scale, seed: int) -> ExperimentResult:
+    return plog_experiments.plog_scaling(
+        _plog_single(scale, seed), _plog_spread(scale, seed)
+    )
+
+
+def _plog_percentiles(scale: Scale, seed: int) -> ExperimentResult:
+    return plog_experiments.plog_percentiles(_plog_single(scale, seed))
+
+
+def _fig15_threeway(scale: Scale, seed: int) -> ExperimentResult:
+    return plog_experiments.fig15_threeway(scale=scale, seed=seed)
+
+
+def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
+    """Table III with a third row derived from the plog sweeps."""
+    base = _table3(scale, seed)
+    narada = base.meta["narada"]
+    rgma = base.meta["rgma"]
+    single = _plog_single(scale, seed)
+    spread = _plog_spread(scale, seed)
+
+    def max_ok(sweep):
+        ok = [n for n, r in sweep.items() if not r.oom and r.compliant]
+        return max(ok) if ok else 0
+
+    common_ns = sorted(
+        set(n for n in single if not single[n].oom)
+        & set(n for n in spread if not spread[n].oom)
+    )
+    ratio = sum(
+        spread[n].mean_rtt_ms / single[n].mean_rtt_ms for n in common_ns
+    ) / len(common_ns)
+    common = common_ns[-1]
+    idle_ratio = (
+        min(v.mean_cpu_idle_percent for v in spread[common].vmstat.values())
+        / max(1e-9, single[common].vmstat["hydra1"].mean_cpu_idle_percent)
+    )
+    plog = MiddlewareMeasurements(
+        name="Partitioned log",
+        rtt_ms_light=single[min(single)].mean_rtt_ms,
+        max_connections_single=max_ok(single),
+        max_connections_distributed=max(max_ok(spread), max_ok(single)),
+        distributed_rtt_ratio=ratio,
+        distributed_idle_ratio=idle_ratio,
+    )
+    result = ExperimentResult(
+        "table3_extended",
+        "Table III extended with the partitioned commit log",
+        "",
+        "rating",
+    )
+    result.table = table_iii(rgma, narada, plog)
+    result.note(
+        f"plog single-broker compliance wall: {plog.max_connections_single} "
+        f"connections (Narada: {narada.max_connections_single}; "
+        f"R-GMA: {rgma.max_connections_single})"
+    )
+    result.meta["narada"] = narada
+    result.meta["rgma"] = rgma
+    result.meta["plog"] = plog
     return result
 
 
@@ -722,6 +824,10 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "losses": _losses,
     "rgma_warmup_loss": _warmup_loss,
     "table3": _table3,
+    "table3_extended": _table3_extended,
+    "plog_scaling": _plog_scaling,
+    "plog_percentiles": _plog_percentiles,
+    "fig15_threeway": _fig15_threeway,
     "ablation_dbn_routing": _ablation_dbn_routing,
     "ablation_udp_ack": _ablation_udp_ack,
     "ablation_rgma_mediator": _ablation_rgma_mediator,
@@ -733,6 +839,47 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
 }
 
 EXPERIMENT_IDS = tuple(EXPERIMENTS)
+
+#: One-line description per experiment id (``--list``).
+DESCRIPTIONS: dict[str, str] = {
+    "table1": "Table I: hardware specifications and software versions",
+    "table2_fig3": "Table II / Fig 3: Narada comparison tests, RTT + STDDEV",
+    "fig4": "Fig 4: Narada comparison tests, percentile of RTT",
+    "fig6": "Fig 6: Narada CPU idle and memory vs connections",
+    "fig7": "Fig 7: Narada RTT/STDDEV vs connections, single vs DBN",
+    "fig8": "Fig 8: Narada single-broker percentile of RTT",
+    "fig9": "Fig 9: Narada DBN percentile of RTT",
+    "fig10": "Fig 10: R-GMA percentile of RTT, light load",
+    "fig11": "Fig 11: R-GMA RTT/STDDEV vs connections",
+    "fig12": "Fig 12: R-GMA single-server percentile of RTT",
+    "fig13": "Fig 13: R-GMA CPU idle and memory vs connections",
+    "fig14": "Fig 14: R-GMA distributed percentile of RTT",
+    "fig15": "Fig 15: RTT decomposition (PRT/PT/SRT), R-GMA vs Narada",
+    "losses": "Message loss rates (§III.E.1 and §III.F)",
+    "rgma_warmup_loss": "R-GMA loss with and without the warm-up sleep",
+    "table3": "Table III: derived qualitative comparison",
+    "table3_extended": "Table III plus a partitioned-commit-log row",
+    "plog_scaling": "Partitioned log: RTT + §I SLA compliance to 16k connections",
+    "plog_percentiles": "Partitioned log: percentile of RTT per connection count",
+    "fig15_threeway": "RTT decomposition for R-GMA, Narada and the plog",
+    "ablation_dbn_routing": "DBN broadcast flaw vs subscription-aware routing",
+    "ablation_udp_ack": "UDP with and without the JMS ack protocol",
+    "ablation_rgma_mediator": "R-GMA process time vs consumer per-tuple cost",
+    "ablation_aggregation": "Message count vs byte volume at equal payload rate",
+    "ablation_rgma_https": "R-GMA over HTTP vs HTTPS",
+    "ablation_web_services": "SOAP proxy publish vs native JMS (§III.D)",
+    "ablation_rgma_legacy_api": "Old Stream Producer API vs new PP pipeline",
+    "ablation_clock_skew": "Cross-node timestamp error vs clock discipline",
+}
+
+
+def list_experiments() -> str:
+    """The ``--list`` text: one aligned line per registered experiment."""
+    width = max(len(i) for i in EXPERIMENT_IDS)
+    return "\n".join(
+        f"{experiment_id:<{width}}  {DESCRIPTIONS.get(experiment_id, '')}"
+        for experiment_id in EXPERIMENT_IDS
+    )
 
 
 def run(
@@ -759,12 +906,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        nargs="+",
+        nargs="*",
         help=f"experiment id(s): {', '.join(EXPERIMENT_IDS)} or 'all'",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered experiment ids with descriptions and exit",
     )
     parser.add_argument("--scale", default=None, choices=["bench", "smoke", "full"])
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args(argv)
+    if args.list:
+        print(list_experiments())
+        return 0
+    if not args.experiment:
+        parser.error("no experiment ids given (use --list to see them)")
     ids = list(args.experiment)
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)

@@ -1,0 +1,321 @@
+"""The partitioned-log broker.
+
+The architectural contrast with :class:`repro.narada.Broker` is the whole
+point of this subsystem:
+
+* **no thread per connection** — every channel delivers into one shared
+  request queue served by a fixed pool of I/O threads, so connection count
+  costs heap (socket/session state) but not native thread stacks.  The
+  Narada wall at ~3600 threads simply does not exist here; the analogous
+  wall is heap-bound at ~20k connections;
+* **no per-subscriber routing work** — a produce request appends a batch to
+  one partition log (sequential write, byte-oriented cost) and a fetch
+  ships a contiguous offset range.  Per-message broker CPU is amortised by
+  batching on both sides;
+* **pull, not push** — consumers long-poll: a fetch with no available data
+  parks (without holding an I/O thread) until an append to that partition
+  wakes it or ``fetch_max_wait`` expires.
+
+Wire protocol (tuples over a transport channel):
+
+==========================================================  ==============
+``("produce", corr, topic, part, batch, acks)``             client → broker
+``("produce_ack", corr, base_offset)``                      broker → client
+``("fetch", corr, topic, part, offset, max_n, max_wait)``   client → broker
+``("fetch_resp", corr, records, next_offset, hwm)``         broker → client
+``("join", group, member, topic)``                          client → coord
+``("leave", group, member)``                                client → coord
+``("commit", group, member, topic, {part: offset})``        client → coord
+``("assign", group, generation, parts, offsets)``           coord → client
+==========================================================  ==============
+
+``batch`` is ``[(key, value, nbytes), ...]``; fetch-response ``records``
+is ``[(offset, value), ...]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.cluster.jvm import Jvm, OutOfMemoryError
+from repro.plog.config import PlogConfig
+from repro.plog.log import PartitionLog
+from repro.sim import Store
+from repro.transport.base import EOF, Channel, ChannelClosed, MessageLost
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.plog.group import GroupCoordinator
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class PlogBrokerStats:
+    """Counters the experiments read off."""
+
+    connections_accepted: int = 0
+    connections_refused: int = 0
+    produce_batches: int = 0
+    records_appended: int = 0
+    records_dropped: int = 0
+    fetches: int = 0
+    empty_fetches: int = 0
+    records_fetched: int = 0
+    long_polls_parked: int = 0
+
+
+@dataclass
+class _FetchWaiter:
+    """A parked long-poll fetch."""
+
+    channel: Channel
+    corr: int
+    topic: str
+    partition: int
+    offset: int
+    max_records: int
+    active: bool = True
+
+
+class PlogBroker:
+    """One broker instance owning a subset of a topic's partitions."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        name: str,
+        config: Optional[PlogConfig] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.name = name
+        self.config = config or PlogConfig()
+        self.jvm = Jvm(
+            sim,
+            node,
+            f"{name}.jvm",
+            heap_bytes=self.config.heap_bytes,
+            thread_stack_bytes=self.config.thread_stack_bytes,
+            native_budget_bytes=self.config.native_budget_bytes,
+        )
+        self.stats = PlogBrokerStats()
+        self.logs: dict[tuple[str, int], PartitionLog] = {}
+        self._waiters: dict[tuple[str, int], list[_FetchWaiter]] = {}
+        self._requests: Store = Store(sim)
+        self._io_started = False
+        self.coordinator: Optional["GroupCoordinator"] = None
+        self.alive = True
+        self.open_connections = 0
+
+    # ------------------------------------------------------------ partitions
+    def create_partition(self, topic: str, partition: int) -> PartitionLog:
+        key = (topic, partition)
+        if key in self.logs:
+            raise ValueError(f"partition {key} already exists on {self.name}")
+        log = PartitionLog(
+            segment_max_bytes=self.config.segment_max_bytes,
+            retention_bytes=self.config.retention_bytes,
+            record_overhead_bytes=self.config.per_record_overhead_bytes,
+        )
+        self.logs[key] = log
+        return log
+
+    # --------------------------------------------------------------- serving
+    def serve(self, transport: Any, port: int) -> None:
+        """Accept client connections on ``transport``/``port``."""
+        if not self._io_started:
+            self._io_started = True
+            for i in range(self.config.io_threads):
+                self.jvm.spawn_thread(self._io_loop(), name=f"{self.name}.io{i}")
+        transport.listen(self.node, port, self._accept)
+
+    def _accept(self, channel: Channel) -> None:
+        """Transport acceptor; raising refuses the connection."""
+        if not self.alive:
+            self.stats.connections_refused += 1
+            raise ChannelClosed(f"broker {self.name} is down")
+        try:
+            self.jvm.alloc(self.config.per_connection_heap, "connection state")
+        except OutOfMemoryError as exc:
+            self.stats.connections_refused += 1
+            raise ChannelClosed(f"broker {self.name} out of memory: {exc}") from exc
+        self.stats.connections_accepted += 1
+        self.open_connections += 1
+        channel.on_deliver = lambda d: self._requests.put_nowait((channel, d))
+        self.node.execute_process(self.config.accept_cpu)
+
+    def _io_loop(self) -> Generator[Any, Any, None]:
+        """One worker of the shared I/O pool."""
+        while self.alive:
+            channel, delivery = yield self._requests.get()
+            if delivery.payload is EOF:
+                self.jvm.free(self.config.per_connection_heap)
+                self.open_connections -= 1
+                self._on_channel_closed(channel)
+                continue
+            yield from self.node.execute(
+                channel.cost_model.recv_cost(delivery.nbytes)
+            )
+            yield from self._handle(channel, delivery.payload)
+
+    def _on_channel_closed(self, channel: Channel) -> None:
+        for waiters in self._waiters.values():
+            for waiter in waiters:
+                if waiter.channel is channel or waiter.channel is channel.peer:
+                    waiter.active = False
+        if self.coordinator is not None:
+            self.coordinator.on_disconnect(channel)
+
+    # -------------------------------------------------------------- protocol
+    def _handle(self, channel: Channel, frame: tuple) -> Generator[Any, Any, None]:
+        kind = frame[0]
+        if kind == "produce":
+            _, corr, topic, partition, batch, acks = frame
+            yield from self._on_produce(channel, corr, topic, partition, batch, acks)
+        elif kind == "fetch":
+            _, corr, topic, partition, offset, max_records, max_wait = frame
+            yield from self._on_fetch(
+                channel, corr, topic, partition, offset, max_records, max_wait
+            )
+        elif kind in ("join", "leave", "commit"):
+            if self.coordinator is None:
+                raise ValueError(f"broker {self.name} is not the coordinator")
+            yield from self.node.execute(self.config.group_request_cpu)
+            self.coordinator.handle(channel, frame)
+        else:
+            raise ValueError(f"unknown frame kind {frame[0]!r}")
+
+    # --------------------------------------------------------------- produce
+    def _on_produce(
+        self,
+        channel: Channel,
+        corr: int,
+        topic: str,
+        partition: int,
+        batch: list,
+        acks: int,
+    ) -> Generator[Any, Any, None]:
+        log = self.logs[(topic, partition)]
+        payload_bytes = sum(nbytes for _, _, nbytes in batch)
+        stored_bytes = payload_bytes + self.config.per_record_overhead_bytes * len(batch)
+        yield from self.node.execute(self.config.append_cpu(len(batch), payload_bytes))
+        try:
+            self.jvm.alloc(stored_bytes, "log append")
+        except OutOfMemoryError:
+            self.stats.records_dropped += len(batch)
+            return
+        result = log.append(batch)
+        if result.evicted_bytes:
+            self.jvm.free(result.evicted_bytes)
+        self.stats.produce_batches += 1
+        self.stats.records_appended += len(batch)
+        self._wake_fetchers(topic, partition)
+        if acks:
+            try:
+                yield from channel.send(
+                    ("produce_ack", corr, result.base_offset),
+                    self.config.control_bytes,
+                )
+            except (MessageLost, ChannelClosed):
+                pass
+
+    # ----------------------------------------------------------------- fetch
+    def _on_fetch(
+        self,
+        channel: Channel,
+        corr: int,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_records: int,
+        max_wait: float,
+    ) -> Generator[Any, Any, None]:
+        log = self.logs[(topic, partition)]
+        if log.end_offset > offset or max_wait <= 0:
+            yield from self._respond_fetch(
+                channel, corr, topic, partition, offset, max_records
+            )
+            return
+        # Long poll: park without holding an I/O thread.
+        waiter = _FetchWaiter(channel, corr, topic, partition, offset, max_records)
+        self._waiters.setdefault((topic, partition), []).append(waiter)
+        self.stats.long_polls_parked += 1
+        self.sim.call_at(self.sim.now + max_wait, lambda: self._expire_waiter(waiter))
+
+    def _wake_fetchers(self, topic: str, partition: int) -> None:
+        waiters = self._waiters.pop((topic, partition), None)
+        if not waiters:
+            return
+        for waiter in waiters:
+            if not waiter.active:
+                continue
+            waiter.active = False
+            self.sim.process(
+                self._respond_fetch(
+                    waiter.channel,
+                    waiter.corr,
+                    waiter.topic,
+                    waiter.partition,
+                    waiter.offset,
+                    waiter.max_records,
+                ),
+                name=f"{self.name}.fetch-wake",
+            )
+
+    def _expire_waiter(self, waiter: _FetchWaiter) -> None:
+        if not waiter.active:
+            return
+        waiter.active = False
+        self.sim.process(
+            self._respond_fetch(
+                waiter.channel,
+                waiter.corr,
+                waiter.topic,
+                waiter.partition,
+                waiter.offset,
+                waiter.max_records,
+            ),
+            name=f"{self.name}.fetch-expire",
+        )
+
+    def _respond_fetch(
+        self,
+        channel: Channel,
+        corr: int,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_records: int,
+    ) -> Generator[Any, Any, None]:
+        log = self.logs[(topic, partition)]
+        stored = log.read(offset, max_records)
+        records = [(r.offset, r.value) for r in stored]
+        nbytes = (
+            sum(r.nbytes for r in stored)
+            + self.config.frame_overhead_bytes
+            + self.config.batch_overhead_bytes
+        )
+        next_offset = stored[-1].offset + 1 if stored else max(offset, log.start_offset)
+        self.stats.fetches += 1
+        if stored:
+            self.stats.records_fetched += len(stored)
+        else:
+            self.stats.empty_fetches += 1
+        yield from self.node.execute(
+            self.config.fetch_cpu(len(stored), nbytes)
+        )
+        try:
+            yield from channel.send(
+                ("fetch_resp", corr, records, next_offset, log.end_offset), nbytes
+            )
+        except (MessageLost, ChannelClosed):
+            pass
+
+    # ----------------------------------------------------------------- admin
+    def partition_count(self) -> int:
+        return len(self.logs)
+
+    def shutdown(self) -> None:
+        self.alive = False

@@ -1,0 +1,124 @@
+"""Calibration constants for the partitioned-log broker model.
+
+The broker is modelled on the same reference node as the paper's testbed
+(Pentium III 866 MHz), so costs are directly comparable with
+:class:`repro.narada.NaradaConfig`.  Where Narada pays ~2.3 ms of broker
+CPU per message (Java 1.4 object streams, per-subscriber selector scans),
+a commit log pays a small per-*batch* request cost plus a byte-oriented
+per-record cost: appends are sequential writes and fetches ship contiguous
+offset ranges, which is exactly why this design scales fan-in where a
+routing broker does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlogConfig:
+    """All knobs of the partitioned-log model (frozen; derive variants with
+    :meth:`with_`)."""
+
+    # -- topic layout ------------------------------------------------------
+    #: Partitions per topic; records hash to ``stable_hash(key) % partitions``.
+    partitions: int = 32
+
+    # -- producer ----------------------------------------------------------
+    #: Batching delay: a batch is flushed ``linger`` seconds after its first
+    #: record unless it fills up first.
+    linger: float = 0.05
+    #: Records per batch before an immediate flush.
+    batch_max_records: int = 64
+    #: Bytes per batch before an immediate flush.
+    batch_max_bytes: int = 64 * KiB
+    #: 0 = fire-and-forget, 1 = wait for the leader's append acknowledgement.
+    acks: int = 1
+
+    # -- consumer ----------------------------------------------------------
+    #: Max records returned by one fetch (the pull-side batch).
+    fetch_max_records: int = 512
+    #: Long-poll: a fetch with no data parks at the broker for at most this
+    #: long before returning empty.
+    fetch_max_wait: float = 0.25
+    #: Client-side CPU to deserialise + process one fetched record.
+    consumer_record_cpu: float = 40e-6
+    #: Interval between automatic offset commits to the coordinator.
+    auto_commit_interval: float = 5.0
+
+    # -- broker CPU (seconds on the reference node) ------------------------
+    #: Fixed cost to decode + dispatch one request frame (produce or fetch).
+    request_cpu: float = 0.0004
+    #: Appending one record to a partition log (index update + copy).
+    append_record_cpu: float = 60e-6
+    #: Per-byte append cost (sequential write; far below Narada's 1 µs/B
+    #: object-stream cost).
+    append_byte_cpu: float = 0.3e-6
+    #: Shipping one record in a fetch response (zero-copy-style read).
+    fetch_record_cpu: float = 20e-6
+    #: Per-byte fetch cost.
+    fetch_byte_cpu: float = 0.1e-6
+    #: Accepting a connection (no thread spawn, just registration).
+    accept_cpu: float = 0.0008
+    #: Coordinator work per group-membership request.
+    group_request_cpu: float = 0.0005
+    #: Fixed I/O thread pool serving the shared request queue.
+    io_threads: int = 4
+
+    # -- protocol bytes ----------------------------------------------------
+    #: Framing per request/response on the wire.
+    frame_overhead_bytes: int = 24
+    #: Batch header (offsets, CRC, compression metadata).
+    batch_overhead_bytes: int = 61
+    #: Size of a control frame (join/assign/commit/ack).
+    control_bytes: int = 48
+
+    # -- broker JVM / memory ----------------------------------------------
+    #: -Xmx, kept at the paper's 1 GiB so walls are comparable.
+    heap_bytes: float = 1024 * MiB
+    #: Native stack per I/O thread (same JVM-1.4-era default).
+    thread_stack_bytes: float = 256 * KiB
+    #: Address space for thread stacks (irrelevant at ``io_threads`` ≈ 4,
+    #: which is the point).
+    native_budget_bytes: float = 900 * MiB
+    #: Long-lived heap per client connection (socket buffers + session);
+    #: no thread stack, so the wall is heap-bound at ~20k connections
+    #: instead of thread-bound at ~3.6k.
+    per_connection_heap: float = 48 * KiB
+    #: Retained heap per log record beyond its payload bytes.
+    per_record_overhead_bytes: float = 64.0
+
+    # -- log segments ------------------------------------------------------
+    #: A segment rolls once it holds this many bytes.
+    segment_max_bytes: float = 1 * MiB
+    #: Per-partition retention: oldest whole segments are evicted once the
+    #: partition exceeds this (bounds broker heap for long runs).
+    retention_bytes: float = 8 * MiB
+
+    # -- consumer groups ---------------------------------------------------
+    #: Coordinator waits this long after a membership change before
+    #: computing the new assignment (coalesces join storms).
+    rebalance_delay: float = 0.5
+
+    def with_(self, **changes) -> "PlogConfig":
+        """Convenience wrapper around :func:`dataclasses.replace`."""
+        return replace(self, **changes)
+
+    def append_cpu(self, records: int, nbytes: float) -> float:
+        """Broker CPU to append one batch."""
+        return (
+            self.request_cpu
+            + self.append_record_cpu * records
+            + self.append_byte_cpu * nbytes
+        )
+
+    def fetch_cpu(self, records: int, nbytes: float) -> float:
+        """Broker CPU to serve one fetch response."""
+        return (
+            self.request_cpu
+            + self.fetch_record_cpu * records
+            + self.fetch_byte_cpu * nbytes
+        )

@@ -1,0 +1,129 @@
+"""Wiring a plog cluster onto Hydra nodes.
+
+A deployment owns one topic's layout: ``partitions`` partition logs spread
+round-robin over one or more brokers (partition ``p`` lives on broker
+``p % n_brokers``), the group coordinator on broker 0, and factory methods
+for clients.  With one broker this is the exact analogue of the paper's
+single-Narada-broker setup; with several, *partitions* (and therefore
+connections and traffic) spread across nodes — contrast
+:class:`repro.narada.BrokerNetwork`, where every broker still sees every
+message because the DBN floods.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
+
+from repro.plog.broker import PlogBroker
+from repro.plog.config import PlogConfig
+from repro.plog.consumer import PlogConsumer, RecordCallback
+from repro.plog.group import GroupCoordinator
+from repro.plog.producer import PlogProducer
+from repro.transport.base import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.hydra import HydraCluster
+    from repro.cluster.node import Node
+    from repro.sim.kernel import Simulator
+
+#: Default base port for plog brokers (one port per broker).
+PLOG_PORT = 5060
+
+
+class PlogDeployment:
+    """One topic served by one or more partitioned-log brokers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "HydraCluster",
+        transport: Any,
+        broker_hosts: Sequence[str] = ("hydra1",),
+        topic: str = "grid.monitoring",
+        config: Optional[PlogConfig] = None,
+        base_port: int = PLOG_PORT,
+    ):
+        if not broker_hosts:
+            raise ValueError("need at least one broker host")
+        self.sim = sim
+        self.cluster = cluster
+        self.transport = transport
+        self.topic = topic
+        self.config = config or PlogConfig()
+        self.base_port = base_port
+        self.brokers: list[PlogBroker] = []
+        self._ports: dict[str, int] = {}
+        for i, host in enumerate(broker_hosts):
+            node = cluster.node(host)
+            broker = PlogBroker(sim, node, f"plog-{host}", self.config)
+            self.brokers.append(broker)
+            self._ports[broker.name] = base_port + i
+        for partition in range(self.config.partitions):
+            self.owner(partition).create_partition(self.topic, partition)
+        self.coordinator = GroupCoordinator(
+            self.brokers[0], self.config.partitions
+        )
+
+    # --------------------------------------------------------------- layout
+    @property
+    def n_partitions(self) -> int:
+        return self.config.partitions
+
+    def owner(self, partition: int) -> PlogBroker:
+        """The broker hosting ``partition``."""
+        return self.brokers[partition % len(self.brokers)]
+
+    def owner_name(self, partition: int) -> str:
+        return self.owner(partition).name
+
+    def serve(self) -> None:
+        """Start every broker listening on its port."""
+        for broker in self.brokers:
+            broker.serve(self.transport, self._ports[broker.name])
+
+    # ------------------------------------------------------------- connecting
+    def connect(
+        self, client_node: "Node", partition: int
+    ) -> Generator[Any, Any, Channel]:
+        """Open a channel from ``client_node`` to ``partition``'s broker."""
+        broker = self.owner(partition)
+        channel = yield from self.transport.connect(
+            client_node, broker.node.name, self._ports[broker.name]
+        )
+        return channel
+
+    def connect_coordinator(
+        self, client_node: "Node"
+    ) -> Generator[Any, Any, Channel]:
+        """Open a channel from ``client_node`` to the coordinator broker."""
+        broker = self.brokers[0]
+        channel = yield from self.transport.connect(
+            client_node, broker.node.name, self._ports[broker.name]
+        )
+        return channel
+
+    # -------------------------------------------------------------- clients
+    def producer(self, node: "Node", name: str) -> PlogProducer:
+        return PlogProducer(self.sim, self, node, name, self.config)
+
+    def consumer(
+        self,
+        node: "Node",
+        name: str,
+        group: str,
+        on_record: Optional[RecordCallback] = None,
+    ) -> PlogConsumer:
+        return PlogConsumer(
+            self.sim, self, node, name, group, self.topic, on_record,
+            self.config,
+        )
+
+    # ----------------------------------------------------------------- stats
+    def total_connections_refused(self) -> int:
+        return sum(b.stats.connections_refused for b in self.brokers)
+
+    def total_records_appended(self) -> int:
+        return sum(b.stats.records_appended for b in self.brokers)
+
+    def total_records_fetched(self) -> int:
+        return sum(b.stats.records_fetched for b in self.brokers)

@@ -1,0 +1,184 @@
+"""Consumer-group coordination: membership, assignment, offsets.
+
+The coordinator lives on one broker (the deployment picks broker 0) and
+owns three pieces of state per group:
+
+* **membership** — which consumers are alive, keyed by member id, with the
+  channel the coordinator can push to;
+* **assignment** — the current partition → member mapping, stamped with a
+  monotonically increasing *generation* so consumers can discard stale
+  fetches after a rebalance;
+* **committed offsets** — where each partition's consumption stands, so a
+  member that inherits a partition resumes where its predecessor stopped.
+
+Rebalances are *coalesced*: a membership change arms a one-shot timer
+(``rebalance_delay``) and every further change inside the window rides the
+same timer, so a join storm at fleet start triggers one assignment, not
+hundreds.  Assignment is range-style: sort partitions and members, give
+each member a contiguous slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.plog.config import PlogConfig
+from repro.transport.base import Channel, ChannelClosed, MessageLost
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.plog.broker import PlogBroker
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class _Member:
+    member_id: str
+    channel: Channel
+    topic: str
+
+
+@dataclass
+class _Group:
+    name: str
+    members: dict[str, _Member] = field(default_factory=dict)
+    #: Bumped on every completed rebalance.
+    generation: int = 0
+    #: (topic, partition) -> committed offset (next offset to consume).
+    offsets: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: member id -> tuple of assigned partitions, from the last rebalance.
+    assignment: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    rebalance_armed: bool = False
+
+
+class GroupCoordinator:
+    """Group membership + partition assignment, hosted on one broker."""
+
+    def __init__(self, broker: "PlogBroker", n_partitions: int):
+        self.broker = broker
+        self.sim: "Simulator" = broker.sim
+        self.config: PlogConfig = broker.config
+        self.n_partitions = n_partitions
+        self.groups: dict[str, _Group] = {}
+        self.rebalances = 0
+        broker.coordinator = self
+
+    # ------------------------------------------------------------- requests
+    def handle(self, channel: Channel, frame: tuple) -> None:
+        kind = frame[0]
+        if kind == "join":
+            _, group_name, member_id, topic = frame
+            self._on_join(channel, group_name, member_id, topic)
+        elif kind == "leave":
+            _, group_name, member_id = frame
+            self._on_leave(group_name, member_id)
+        elif kind == "commit":
+            _, group_name, member_id, topic, offsets = frame
+            self._on_commit(group_name, member_id, topic, offsets)
+        else:  # pragma: no cover - broker dispatch guards this
+            raise ValueError(f"unknown group frame {kind!r}")
+
+    def _on_join(
+        self, channel: Channel, group_name: str, member_id: str, topic: str
+    ) -> None:
+        group = self.groups.setdefault(group_name, _Group(group_name))
+        group.members[member_id] = _Member(member_id, channel, topic)
+        self._arm_rebalance(group)
+
+    def _on_leave(self, group_name: str, member_id: str) -> None:
+        group = self.groups.get(group_name)
+        if group is None or member_id not in group.members:
+            return
+        del group.members[member_id]
+        self._arm_rebalance(group)
+
+    def _on_commit(
+        self, group_name: str, member_id: str, topic: str, offsets: dict
+    ) -> None:
+        group = self.groups.get(group_name)
+        if group is None:
+            return
+        # Only the current owner of a partition may move its offset.
+        owned = set(group.assignment.get(member_id, ()))
+        for partition, offset in offsets.items():
+            if partition in owned:
+                key = (topic, partition)
+                group.offsets[key] = max(group.offsets.get(key, 0), offset)
+
+    def on_disconnect(self, channel: Channel) -> None:
+        """A client channel died: evict any member it belonged to."""
+        for group in self.groups.values():
+            dead = [
+                m.member_id
+                for m in group.members.values()
+                if m.channel is channel or m.channel is channel.peer
+            ]
+            for member_id in dead:
+                del group.members[member_id]
+            if dead:
+                self._arm_rebalance(group)
+
+    # ----------------------------------------------------------- rebalance
+    def _arm_rebalance(self, group: _Group) -> None:
+        if group.rebalance_armed:
+            return  # coalesce: the pending timer will see the latest state
+        group.rebalance_armed = True
+        self.sim.call_at(
+            self.sim.now + self.config.rebalance_delay,
+            lambda: self._rebalance(group),
+        )
+
+    def _rebalance(self, group: _Group) -> None:
+        group.rebalance_armed = False
+        group.generation += 1
+        self.rebalances += 1
+        members = sorted(group.members.values(), key=lambda m: m.member_id)
+        group.assignment = self._range_assign(members)
+        for member in members:
+            partitions = group.assignment[member.member_id]
+            offsets = {
+                p: group.offsets.get((member.topic, p), 0) for p in partitions
+            }
+            self.sim.process(
+                self._push_assignment(member, group, partitions, offsets),
+                name=f"{self.broker.name}.assign",
+            )
+
+    def _range_assign(
+        self, members: list[_Member]
+    ) -> dict[str, tuple[int, ...]]:
+        """Contiguous partition ranges, remainder spread over the first
+        members — the classic range assignor."""
+        if not members:
+            return {}
+        n = len(members)
+        base, extra = divmod(self.n_partitions, n)
+        assignment: dict[str, tuple[int, ...]] = {}
+        start = 0
+        for i, member in enumerate(members):
+            count = base + (1 if i < extra else 0)
+            assignment[member.member_id] = tuple(range(start, start + count))
+            start += count
+        return assignment
+
+    def _push_assignment(self, member, group, partitions, offsets):
+        yield from self.broker.node.execute(self.config.group_request_cpu)
+        try:
+            yield from member.channel.send(
+                ("assign", group.name, group.generation, partitions, offsets),
+                self.config.control_bytes
+                + self.config.control_bytes * max(1, len(partitions)) // 4,
+            )
+        except (MessageLost, ChannelClosed):
+            pass
+
+    # ------------------------------------------------------------ inspection
+    def assignment_of(self, group_name: str, member_id: str) -> tuple[int, ...]:
+        group = self.groups.get(group_name)
+        if group is None:
+            return ()
+        return group.assignment.get(member_id, ())
+
+    def member_count(self, group_name: str) -> int:
+        group = self.groups.get(group_name)
+        return 0 if group is None else len(group.members)

@@ -1,0 +1,145 @@
+"""Append-only segmented partition logs with offset-based reads.
+
+One :class:`PartitionLog` is the storage for one partition: a list of
+segments, each holding a contiguous offset range.  Appends always go to the
+active (last) segment, which rolls once it exceeds the configured size;
+retention evicts whole segments from the front.  Reads address records by
+offset, never by position in a queue — that is what makes consumption
+pull-based and replayable.
+
+The log itself is pure data structure (no simulated time, no CPU charges);
+the broker charges CPU and heap around these calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One appended record."""
+
+    offset: int
+    key: Any
+    value: Any
+    nbytes: float
+
+
+@dataclass
+class Segment:
+    """A contiguous run of offsets."""
+
+    base_offset: int
+    records: list[StoredRecord] = field(default_factory=list)
+    nbytes: float = 0.0
+
+    @property
+    def next_offset(self) -> int:
+        return self.base_offset + len(self.records)
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """What one batch append did to the log."""
+
+    base_offset: int
+    appended_bytes: float
+    #: Bytes released by retention eviction during this append (the broker
+    #: frees this much heap).
+    evicted_bytes: float
+
+
+class PartitionLog:
+    """The commit log of one partition."""
+
+    def __init__(
+        self,
+        segment_max_bytes: float = float("inf"),
+        retention_bytes: float = float("inf"),
+        record_overhead_bytes: float = 0.0,
+    ):
+        if segment_max_bytes <= 0 or retention_bytes <= 0:
+            raise ValueError("segment_max_bytes and retention_bytes must be > 0")
+        self.segment_max_bytes = segment_max_bytes
+        self.retention_bytes = retention_bytes
+        self.record_overhead_bytes = record_overhead_bytes
+        self.segments: list[Segment] = [Segment(base_offset=0)]
+        self.total_bytes = 0.0
+        self.appends = 0
+        self.records_appended = 0
+
+    # -------------------------------------------------------------- offsets
+    @property
+    def start_offset(self) -> int:
+        """Oldest retained offset."""
+        return self.segments[0].base_offset
+
+    @property
+    def end_offset(self) -> int:
+        """Offset the next appended record will get (the high-watermark)."""
+        return self.segments[-1].next_offset
+
+    # --------------------------------------------------------------- append
+    def append(self, batch: list[tuple[Any, Any, float]]) -> AppendResult:
+        """Append ``[(key, value, nbytes), ...]``; returns offsets + byte
+        accounting for the caller's heap bookkeeping."""
+        active = self.segments[-1]
+        if active.records and active.nbytes >= self.segment_max_bytes:
+            active = Segment(base_offset=active.next_offset)
+            self.segments.append(active)
+        base = active.next_offset
+        appended = 0.0
+        for key, value, nbytes in batch:
+            stored_bytes = nbytes + self.record_overhead_bytes
+            active.records.append(
+                StoredRecord(active.next_offset, key, value, nbytes)
+            )
+            active.nbytes += stored_bytes
+            appended += stored_bytes
+            # Roll mid-batch too, so one huge batch cannot defeat retention.
+            if active.nbytes >= self.segment_max_bytes:
+                active = Segment(base_offset=active.next_offset)
+                self.segments.append(active)
+        if not self.segments[-1].records and len(self.segments) > 1:
+            self.segments.pop()  # drop an empty roll at the tail
+        self.total_bytes += appended
+        self.appends += 1
+        self.records_appended += len(batch)
+        evicted = self._enforce_retention()
+        return AppendResult(base, appended, evicted)
+
+    def _enforce_retention(self) -> float:
+        evicted = 0.0
+        while self.total_bytes > self.retention_bytes and len(self.segments) > 1:
+            segment = self.segments.pop(0)
+            evicted += segment.nbytes
+            self.total_bytes -= segment.nbytes
+        return evicted
+
+    # ----------------------------------------------------------------- read
+    def read(self, offset: int, max_records: int) -> list[StoredRecord]:
+        """Up to ``max_records`` records starting at ``offset``.
+
+        Offsets below ``start_offset`` (evicted) resume from the oldest
+        retained record, as a real consumer would after falling behind
+        retention.  Offsets at/after ``end_offset`` return ``[]``.
+        """
+        if max_records <= 0:
+            return []
+        offset = max(offset, self.start_offset)
+        out: list[StoredRecord] = []
+        for segment in self.segments:
+            if segment.next_offset <= offset:
+                continue
+            index = max(0, offset - segment.base_offset)
+            for record in segment.records[index:]:
+                out.append(record)
+                if len(out) >= max_records:
+                    return out
+        return out
+
+    def __len__(self) -> int:
+        """Retained record count."""
+        return self.end_offset - self.start_offset

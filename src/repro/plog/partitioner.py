@@ -1,0 +1,31 @@
+"""Key → partition hashing.
+
+The mapping must be *stable*: the same generator id must land on the same
+partition in every run, every process and under every simulation seed —
+partition assignment is topology, not randomness.  Python's built-in
+``hash`` is salted per process for strings, so we use FNV-1a over the
+key's string form instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(key: Any) -> int:
+    """64-bit FNV-1a of ``str(key)`` — deterministic across processes."""
+    h = _FNV_OFFSET
+    for byte in str(key).encode("utf-8"):
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK
+    return h
+
+
+def partition_for(key: Any, n_partitions: int) -> int:
+    """The partition ``key`` maps to in a topic of ``n_partitions``."""
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    return stable_hash(key) % n_partitions

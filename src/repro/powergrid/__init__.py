@@ -15,15 +15,18 @@ from repro.powergrid.payload import narada_map_message, rgma_row
 from repro.powergrid.workload import (
     FleetConfig,
     NaradaFleet,
+    PlogFleet,
     RgmaFleet,
 )
-from repro.powergrid.receiver import NaradaReceiver, RgmaReceiver
+from repro.powergrid.receiver import NaradaReceiver, PlogReceiver, RgmaReceiver
 
 __all__ = [
     "FleetConfig",
     "GeneratorState",
     "NaradaFleet",
     "NaradaReceiver",
+    "PlogFleet",
+    "PlogReceiver",
     "PowerGenerator",
     "RgmaFleet",
     "RgmaReceiver",

@@ -19,6 +19,7 @@ from repro.transport.base import ChannelClosed, TransportError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.hydra import HydraCluster
     from repro.narada.config import NaradaConfig
+    from repro.plog.deployment import PlogDeployment
     from repro.rgma.site import RGMADeployment
     from repro.sim.kernel import Simulator
 
@@ -86,6 +87,61 @@ class NaradaReceiver:
             and self.received % self.client_ack_batch == 0
         ):
             message.acknowledge()
+
+
+class PlogReceiver:
+    """One consumer-group member with a recording record callback.
+
+    ``t_arrived`` is when the fetch response carrying the record landed at
+    the consumer (the pull analogue of delivery time); ``t_received`` is
+    stamped after the per-record processing CPU.  The guard on
+    ``t_received`` makes redeliveries after a rebalance (at-least-once)
+    count once.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "HydraCluster",
+        deployment: "PlogDeployment",
+        node_name: str,
+        group: str = "grid.monitor",
+        name: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.received = 0
+        self.duplicates = 0
+        self.consumer = deployment.consumer(
+            cluster.node(node_name),
+            name or f"consumer.{node_name}",
+            group,
+            on_record=self._on_record,
+        )
+
+    @property
+    def connected(self) -> bool:
+        return self.consumer._coord is not None and not self.consumer.closed
+
+    def start(self) -> None:
+        """Spawn the consumer's group-membership process."""
+        self.sim.process(self._run(), name=f"{self.consumer.name}.main")
+
+    def _run(self) -> Generator[Any, Any, None]:
+        try:
+            yield from self.consumer.start()
+        except (ChannelClosed, TransportError):
+            return
+
+    def _on_record(self, value: Any, t_arrived: float) -> None:
+        self.received += 1
+        record = getattr(value, "_record", None)
+        if record is None:
+            return
+        if record.t_received is not None:
+            self.duplicates += 1
+            return
+        record.t_arrived = t_arrived
+        record.t_received = self.sim.now
 
 
 class RgmaReceiver:

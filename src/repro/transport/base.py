@@ -140,13 +140,21 @@ class Channel:
 
     # -------------------------------------------------------------- close
     def close(self) -> None:
-        """Close both ends; pending receivers see EOF deliveries."""
+        """Close both ends; pending receivers see EOF deliveries.
+
+        The EOF follows the same path as data: push-mode ends (a broker's
+        shared selector/request queue via ``on_deliver``) see it there, so
+        reactor-style servers learn about client disconnects; pull-mode ends
+        see it in their inbox.
+        """
         for end in (self, self.peer):
             if end is not None and not end.closed:
                 end.closed = True
-                end.inbox.put_nowait(
-                    Delivery(EOF, 0, self.sim.now, self.sim.now)
-                )
+                d = Delivery(EOF, 0, self.sim.now, self.sim.now)
+                if end.on_deliver is not None:
+                    end.on_deliver(d)
+                else:
+                    end.inbox.put_nowait(d)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "closed" if self.closed else "open"

@@ -53,9 +53,35 @@ def test_rtt_stats_since_cut():
 
 
 def test_rtt_stats_empty():
+    # Nothing sent: zeros across the board, not NaN (an idle window is a
+    # well-defined measurement, not a failed one).
     stats = rtt_stats(RecordBook())
     assert stats.count == 0
+    assert stats.sent == 0
+    assert stats.mean_ms == 0.0
+    assert stats.stddev_ms == 0.0
+    assert stats.min_ms == 0.0
+    assert stats.max_ms == 0.0
+    assert stats.loss_rate == 0.0
+
+
+def test_rtt_stats_all_lost_keeps_nan_latency():
+    # Sent but nothing delivered: loss carries the signal; latency stays
+    # NaN so comparisons like `mean_rtt_ms < 1000` can never pass.
+    stats = rtt_stats(make_book([], lost=3))
+    assert stats.sent == 3
+    assert stats.count == 0
+    assert stats.loss_rate == 1.0
     assert np.isnan(stats.mean_ms)
+    assert not stats.mean_ms < 1000
+
+
+def test_rtt_stats_empty_window_after_since_cut():
+    book = make_book([0.010])  # sent at t=0
+    stats = rtt_stats(book, since=100.0)
+    assert stats.sent == 0
+    assert stats.mean_ms == 0.0
+    assert stats.loss_rate == 0.0
 
 
 def test_loss_rate():
@@ -76,13 +102,31 @@ def test_percentile_curve_monotone_and_anchored():
 
 
 def test_percentile_curve_empty():
-    curve = percentile_curve([])
-    assert all(np.isnan(v) for _, v in curve)
+    # No samples -> no curve; callers iterate the pairs, so an empty list
+    # cleanly omits the series instead of plotting NaNs.
+    assert percentile_curve([]) == []
 
 
 def test_within_threshold():
     rtts = [0.01, 0.05, 0.2]
     assert within_threshold(rtts, 0.1) == pytest.approx(2 / 3)
+
+
+def test_within_threshold_empty_is_vacuous():
+    assert within_threshold([], 0.1) == 1.0
+
+
+def test_decompose_empty_book():
+    phases = decompose(RecordBook())
+    assert np.isnan(phases.prt_ms)
+    assert np.isnan(phases.rtt_ms)
+
+
+def test_soft_realtime_compliance_empty_book():
+    ok, frac, loss = soft_realtime_compliance(RecordBook())
+    assert ok is True
+    assert frac == 0.0
+    assert loss == 0.0
 
 
 def test_decompose_sums_to_rtt():

@@ -159,6 +159,37 @@ def test_experiment_ids_cover_design_inventory():
     for required in (
         "table1", "table2_fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "losses",
-        "table3",
+        "table3", "table3_extended", "plog_scaling", "plog_percentiles",
+        "fig15_threeway",
     ):
         assert required in runner.EXPERIMENT_IDS
+
+
+def test_runner_list_flag(capsys):
+    rc = runner.main(["--list"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for experiment_id in runner.EXPERIMENT_IDS:
+        assert experiment_id in out
+    assert "Partitioned log" in out  # descriptions, not just ids
+
+
+def test_runner_every_id_has_a_description():
+    assert set(runner.DESCRIPTIONS) == set(runner.EXPERIMENT_IDS)
+
+
+def test_runner_no_args_errors(capsys):
+    with pytest.raises(SystemExit):
+        runner.main([])
+
+
+def test_runner_fig15_threeway_shape():
+    result = runner.run("fig15_threeway", scale="smoke")
+    rows = {row[0]: row[1:] for row in result.table[1]}
+    assert set(rows) == {"RGMA", "Narada", "Plog"}
+    plog_prt, plog_pt, plog_srt, plog_rtt = rows["Plog"]
+    rgma_rtt = rows["RGMA"][3]
+    # The plog's RTT is linger-dominated: tens of ms — an order of magnitude
+    # above Narada but two below R-GMA's mediated SQL pipeline.
+    assert rows["Narada"][3] < plog_rtt < rgma_rtt
+    assert plog_prt > plog_srt  # the produce ack includes the linger

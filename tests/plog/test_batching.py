@@ -1,0 +1,131 @@
+"""Tests for producer batching: linger timing, size flush, ack stamping."""
+
+import pytest
+
+from repro.cluster import HydraCluster
+from repro.core import RecordBook
+from repro.plog import PlogConfig, PlogDeployment, partition_for
+from repro.sim import Simulator
+from repro.transport import TcpTransport
+
+TOPIC = "grid.monitoring"
+
+
+def make_world(config):
+    sim = Simulator(seed=7)
+    cluster = HydraCluster(sim)
+    transport = TcpTransport(sim, cluster.lan)
+    deployment = PlogDeployment(sim, cluster, transport, config=config)
+    deployment.serve()
+    producer = deployment.producer(cluster.node("hydra5"), "p0")
+    return sim, deployment, producer
+
+
+def appended(deployment):
+    return deployment.total_records_appended()
+
+
+def test_linger_holds_then_flushes():
+    config = PlogConfig(linger=0.05)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    t0 = sim.now
+    producer.send(TOPIC, "gen-1", "v", 100)
+    sim.run(until=t0 + 0.04)
+    assert appended(deployment) == 0  # still lingering
+    sim.run(until=t0 + 0.2)
+    assert appended(deployment) == 1
+    assert producer.batches_sent == 1
+
+
+def test_records_in_linger_window_share_one_batch():
+    config = PlogConfig(linger=0.05)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    for i in range(5):
+        producer.send(TOPIC, "gen-1", f"v{i}", 100)
+    sim.run(until=sim.now + 0.3)
+    assert producer.batches_sent == 1
+    assert producer.records_sent == 5
+    assert appended(deployment) == 5
+
+
+def test_batch_max_records_flushes_before_linger():
+    config = PlogConfig(linger=10.0, batch_max_records=3)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    for i in range(3):
+        producer.send(TOPIC, "gen-1", f"v{i}", 100)
+    sim.run(until=sim.now + 1.0)  # far below the 10 s linger
+    assert producer.batches_sent == 1
+    assert appended(deployment) == 3
+
+
+def test_size_flush_cancels_linger_timer():
+    # After a size-triggered flush, the stale linger timer must not flush
+    # the *next* batch early (the epoch guard).
+    config = PlogConfig(linger=1.0, batch_max_records=2)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    t0 = sim.now
+    producer.send(TOPIC, "gen-1", "a", 100)
+    producer.send(TOPIC, "gen-1", "b", 100)  # size flush; timer armed at t0+1
+    sim.run(until=t0 + 0.5)
+    producer.send(TOPIC, "gen-1", "c", 100)  # new batch, lingers to t0+1.5
+    sim.run(until=t0 + 1.2)  # stale timer fired at t0+1.0: must be a no-op
+    assert producer.batches_sent == 1
+    sim.run(until=t0 + 2.0)
+    assert producer.batches_sent == 2
+    assert producer.records_sent == 3
+
+
+def test_batch_max_bytes_flushes():
+    config = PlogConfig(linger=10.0, batch_max_bytes=250.0)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    producer.send(TOPIC, "gen-1", "a", 200)
+    assert producer.batches_sent == 0
+    producer.send(TOPIC, "gen-1", "b", 200)  # 400 >= 250
+    sim.run(until=sim.now + 1.0)
+    assert producer.batches_sent == 1
+
+
+def test_acks_stamp_after_send_on_ack_arrival():
+    config = PlogConfig(linger=0.02, acks=1)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    book = RecordBook()
+    record = book.new_record(gen_id=1, seq=1, t_before_send=sim.now)
+    producer.send(TOPIC, "gen-1", "v", 100, record=record)
+    sim.run(until=sim.now + 1.0)
+    assert producer.acks_received == 1
+    # The stamp includes linger + wire + broker append, so it lands strictly
+    # after the linger expiry.
+    assert record.t_after_send is not None
+    assert record.t_after_send > record.t_before_send + config.linger
+
+
+def test_acks_zero_stamps_at_socket():
+    config = PlogConfig(linger=0.02, acks=0)
+    sim, deployment, producer = make_world(config)
+    sim.run_process(producer.connect_for(TOPIC, "gen-1"))
+    book = RecordBook()
+    record = book.new_record(gen_id=1, seq=1, t_before_send=sim.now)
+    producer.send(TOPIC, "gen-1", "v", 100, record=record)
+    sim.run(until=sim.now + 1.0)
+    assert producer.acks_received == 0
+    assert record.t_after_send is not None
+
+
+def test_keys_hash_to_their_partitions():
+    config = PlogConfig(linger=0.01)
+    sim, deployment, producer = make_world(config)
+    keys = ["gen-1", "gen-2", "gen-3"]
+    for key in keys:
+        sim.run_process(producer.connect_for(TOPIC, key))
+        producer.send(TOPIC, key, "v", 100)
+    sim.run(until=sim.now + 1.0)
+    for key in keys:
+        partition = partition_for(key, config.partitions)
+        log = deployment.owner(partition).logs[(TOPIC, partition)]
+        assert any(r.key == key for r in log.read(0, 100))

@@ -1,0 +1,89 @@
+"""Tests for the segmented partition log (pure data structure)."""
+
+import pytest
+
+from repro.plog import PartitionLog
+
+
+def rec(n, size=100.0):
+    return [(f"k{i}", f"v{i}", size) for i in range(n)]
+
+
+def test_append_assigns_contiguous_offsets():
+    log = PartitionLog()
+    first = log.append(rec(3))
+    second = log.append(rec(2))
+    assert first.base_offset == 0
+    assert second.base_offset == 3
+    assert log.end_offset == 5
+    assert [r.offset for r in log.read(0, 10)] == [0, 1, 2, 3, 4]
+
+
+def test_read_respects_offset_and_max():
+    log = PartitionLog()
+    log.append(rec(10))
+    out = log.read(4, 3)
+    assert [r.offset for r in out] == [4, 5, 6]
+    assert log.read(10, 5) == []  # at the high-watermark
+    assert log.read(3, 0) == []
+
+
+def test_segment_rolling():
+    log = PartitionLog(segment_max_bytes=250.0)
+    log.append(rec(1))  # 100 bytes
+    log.append(rec(1))
+    log.append(rec(1))  # crosses 250 -> next append rolls
+    log.append(rec(1))
+    assert len(log.segments) >= 2
+    # Reads still span segments transparently.
+    assert [r.offset for r in log.read(0, 10)] == [0, 1, 2, 3]
+
+
+def test_huge_batch_rolls_mid_batch():
+    log = PartitionLog(segment_max_bytes=250.0)
+    log.append(rec(10))  # 1000 bytes in one batch
+    assert len(log.segments) > 2  # one batch cannot become one segment
+    assert log.end_offset == 10
+
+
+def test_retention_evicts_front_segments():
+    log = PartitionLog(segment_max_bytes=200.0, retention_bytes=500.0)
+    for _ in range(10):
+        log.append(rec(1))
+    assert log.total_bytes <= 500.0 + 200.0  # within one segment of the cap
+    assert log.start_offset > 0
+    assert log.end_offset == 10
+    assert len(log) < 10
+
+
+def test_eviction_reported_to_caller():
+    log = PartitionLog(segment_max_bytes=100.0, retention_bytes=300.0)
+    evicted = 0.0
+    for _ in range(8):
+        evicted += log.append(rec(1)).evicted_bytes
+    # Heap bookkeeping must balance: appended == retained + evicted.
+    appended = 8 * 100.0
+    assert evicted + log.total_bytes == pytest.approx(appended)
+
+
+def test_read_below_start_offset_clamps_to_oldest():
+    log = PartitionLog(segment_max_bytes=100.0, retention_bytes=200.0)
+    for _ in range(6):
+        log.append(rec(1))
+    assert log.start_offset > 0
+    out = log.read(0, 3)  # a consumer that fell behind retention
+    assert out[0].offset == log.start_offset
+
+
+def test_record_overhead_counts_toward_sizes():
+    log = PartitionLog(record_overhead_bytes=50.0)
+    result = log.append(rec(2))
+    assert result.appended_bytes == pytest.approx(2 * 150.0)
+    assert log.total_bytes == pytest.approx(300.0)
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        PartitionLog(segment_max_bytes=0)
+    with pytest.raises(ValueError):
+        PartitionLog(retention_bytes=-1)
