@@ -1,0 +1,53 @@
+"""Chaos: the three middlewares under one deterministic fault schedule.
+
+The ``loss_burst`` plan raises per-fragment datagram loss to 25 % over the
+middle of the measurement window.  Expected shape: the TCP-based R-GMA
+pipeline never loses a message to the burst; the plog over acked UDP loses
+a visible fraction without producer retry and (acceptance criterion)
+under 0.5 % with retry-with-backoff; Narada's push delivery cannot recover
+broker-to-subscriber datagrams, so its loss sits between those extremes.
+"""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_chaos_threeway(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "chaos_threeway", scale, save_result)
+    assert len(result.table[1]) == 4
+    runs = result.meta["runs"]
+
+    no_retry = runs["Plog (UDP, no retry)"]
+    retry = runs["Plog (UDP, retry)"]
+    rgma = runs["R-GMA (TCP)"]
+    narada = runs["Narada (UDP, retry)"]
+
+    # The burst is real: the one-shot producer loses messages.
+    assert no_retry.loss_rate > 0.0
+    # Recovery heals it below the paper's §I requirement (0.5 %).
+    assert retry.loss_rate < 0.005
+    assert retry.loss_rate < no_retry.loss_rate
+    assert retry.producer_retries > 0
+    # TCP stream traffic is never dropped by the loss windows.
+    assert rgma.loss_rate == 0.0
+    # Narada's unrecoverable push leg keeps it lossy under the burst.
+    assert narada.loss_rate > retry.loss_rate
+
+    # Every leg carries a percentile curve and the injected timeline is
+    # reported next to the measurements.
+    for label in runs:
+        assert len(result.series[label]) > 0
+    assert any(note.startswith("fault:") for note in result.notes)
+    assert result.meta["fault_plan"] == "loss_burst"
+
+
+def test_chaos_broker_failover(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "chaos_broker_failover", scale, save_result)
+    rows = result.table[1]
+    assert [row[0] for row in rows] == [
+        "one-shot (no recovery)", "retry", "retry + failover",
+    ]
+    losses = [float(row[3].rstrip("%")) / 100.0 for row in rows]
+    # Each added recovery mechanism strictly reduces loss; failover ends
+    # below the §I requirement because new records route around the corpse.
+    assert losses[0] > losses[1] >= losses[2]
+    assert losses[2] < 0.005

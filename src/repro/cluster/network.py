@@ -43,6 +43,8 @@ class LinkStats:
     bytes: int = 0
     drops_random: int = 0
     drops_overflow: int = 0
+    #: Datagrams dropped by an injected network partition (repro.faults).
+    drops_fault: int = 0
 
 
 class Link:
@@ -123,6 +125,9 @@ class Lan:
         self.buffer_bytes = buffer_bytes
         self._tx: dict[str, Link] = {}
         self._rx: dict[str, Link] = {}
+        #: Optional injected link faults (see :mod:`repro.faults.link`);
+        #: installed by a fault scheduler, consulted per transfer.
+        self.faults = None
 
     def attach(self, host: str) -> None:
         """Register ``host`` on the switch (idempotent)."""
@@ -181,10 +186,22 @@ class Lan:
         tx = self._tx[src]
         rx = self._rx[dst]
 
-        if droppable and loss_probability > 0.0:
+        fault_delay = 0.0
+        p_frag = loss_probability
+        if self.faults is not None:
+            dropped, fault_delay = self.faults.verdict(src, dst, droppable)
+            if dropped:
+                tx.stats.drops_fault += 1
+                return None
+            extra_loss = self.faults.loss_probability(src, dst)
+            if extra_loss > 0.0:
+                # Independent loss processes compose multiplicatively.
+                p_frag = 1.0 - (1.0 - p_frag) * (1.0 - extra_loss)
+
+        if droppable and p_frag > 0.0:
             # Per-fragment random loss; one lost fragment loses the datagram.
             frags = self.frame_count(nbytes)
-            p_msg = 1.0 - (1.0 - loss_probability) ** frags
+            p_msg = 1.0 - (1.0 - p_frag) ** frags
             if self.sim.rng.random(f"lan.loss.{src}->{dst}") < p_msg:
                 tx.stats.drops_random += 1
                 return None
@@ -203,7 +220,7 @@ class Lan:
             tx.stats.drops_overflow += 1  # counted where it is observed
             return None
         jitter = self.sim.rng.exponential(f"lan.jitter.{src}->{dst}", self.jitter_mean)
-        delivery = rx_done + jitter
+        delivery = rx_done + jitter + fault_delay
         delay = delivery - now
         ev = self.sim.event()
         ev.succeed(delay, delay=delay)

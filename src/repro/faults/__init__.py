@@ -1,0 +1,29 @@
+"""Deterministic fault injection and recovery machinery.
+
+The paper's robustness findings are failure-mode results — the < 0.5 %
+loss deadline, JMS-over-UDP's pathological acking, the Narada broker's
+memory wall.  This package makes such conditions *injectable*: a
+:class:`FaultPlan` schedules link, node and application faults on the sim
+clock, a :class:`FaultScheduler` arms them against a concrete run, and
+:class:`RetryPolicy` is the recovery half that producers, fleets and
+consumers share.  All randomness flows through the kernel's named RNG
+streams, so a (seed, plan) pair is bit-reproducible.
+"""
+
+from repro.faults.injector import FaultLogEntry, FaultScheduler
+from repro.faults.link import LinkFaults
+from repro.faults.plan import PLANS, FaultPlan, FaultSpec, PlanTemplate, named_plan
+from repro.faults.recovery import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "FaultLogEntry",
+    "FaultScheduler",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkFaults",
+    "NO_RETRY",
+    "PLANS",
+    "PlanTemplate",
+    "RetryPolicy",
+    "named_plan",
+]

@@ -1,0 +1,130 @@
+"""Link-fault state the LAN consults on every transfer.
+
+Installed on a :class:`~repro.cluster.network.Lan` by the scheduler
+(``lan.faults = LinkFaults(sim)``), this object holds the plan's loss,
+latency and partition windows and answers two questions per transfer:
+
+* :meth:`verdict` — is this transfer dropped (partitioned datagram), and
+  how much extra delay does it accrue (latency windows; partition *hold*
+  for stream traffic, which may be delayed but never lost — that is the
+  transport's reliability contract);
+* :meth:`loss_probability` — the extra per-fragment loss the active loss
+  windows contribute, folded by the LAN into its existing per-fragment
+  random-loss draw.
+
+Windows are pure time predicates (``start <= now < end``), so installing
+them draws no randomness and leaves runs without active windows
+bit-identical to runs with no fault plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+def _match(pattern: str, host: str) -> bool:
+    return pattern == "*" or pattern == host
+
+
+@dataclass(frozen=True)
+class _LossWindow:
+    start: float
+    end: float
+    probability: float
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class _LatencyWindow:
+    start: float
+    end: float
+    extra: float
+    jitter_mean: float
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class _Partition:
+    start: float
+    end: float
+    hosts: frozenset[str]
+
+    def crosses(self, src: str, dst: str) -> bool:
+        return (src in self.hosts) != (dst in self.hosts)
+
+
+class LinkFaults:
+    """Active link-fault windows plus the counters experiments report."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._loss: list[_LossWindow] = []
+        self._latency: list[_LatencyWindow] = []
+        self._partitions: list[_Partition] = []
+        #: Datagrams dropped because they crossed an active partition.
+        self.partition_drops = 0
+        #: Stream transfers held until a partition healed.
+        self.partition_holds = 0
+        #: Transfers that accrued extra latency from a window.
+        self.delayed_transfers = 0
+
+    # ------------------------------------------------------------- installing
+    def add_loss(
+        self, start: float, end: float, probability: float,
+        src: str = "*", dst: str = "*",
+    ) -> None:
+        self._loss.append(_LossWindow(start, end, probability, src, dst))
+
+    def add_latency(
+        self, start: float, end: float, extra: float, jitter_mean: float = 0.0,
+        src: str = "*", dst: str = "*",
+    ) -> None:
+        self._latency.append(_LatencyWindow(start, end, extra, jitter_mean, src, dst))
+
+    def add_partition(self, start: float, end: float, hosts: tuple[str, ...]) -> None:
+        self._partitions.append(_Partition(start, end, frozenset(hosts)))
+
+    @property
+    def empty(self) -> bool:
+        return not (self._loss or self._latency or self._partitions)
+
+    # -------------------------------------------------------------- consulting
+    def loss_probability(self, src: str, dst: str) -> float:
+        """Extra per-fragment loss contributed by active windows (combined
+        as independent loss processes)."""
+        now = self.sim.now
+        survive = 1.0
+        for w in self._loss:
+            if w.start <= now < w.end and _match(w.src, src) and _match(w.dst, dst):
+                survive *= 1.0 - w.probability
+        return 1.0 - survive
+
+    def verdict(self, src: str, dst: str, droppable: bool) -> tuple[bool, float]:
+        """(drop, extra_delay) for a transfer attempted right now."""
+        now = self.sim.now
+        delay = 0.0
+        for p in self._partitions:
+            if p.start <= now < p.end and p.crosses(src, dst):
+                if droppable:
+                    self.partition_drops += 1
+                    return True, 0.0
+                # Hold the stream until the cut heals.
+                delay = max(delay, p.end - now)
+                self.partition_holds += 1
+        for w in self._latency:
+            if w.start <= now < w.end and _match(w.src, src) and _match(w.dst, dst):
+                extra = w.extra
+                if w.jitter_mean > 0.0:
+                    extra += self.sim.rng.exponential(
+                        f"faults.jitter.{src}->{dst}", w.jitter_mean
+                    )
+                delay += extra
+        if delay > 0.0:
+            self.delayed_transfers += 1
+        return False, delay

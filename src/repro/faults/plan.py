@@ -1,0 +1,303 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries, each
+pinned to an absolute simulated time.  Plans are *data*: building one draws
+no randomness and arms nothing — the :class:`~repro.faults.injector.FaultScheduler`
+turns a plan into scheduled kernel callbacks and link-fault windows when it
+is attached to a run.  Any randomness a fault needs at injection time (loss
+draws, retry jitter) comes from the kernel's named
+:class:`~repro.sim.rng.RngStreams`, so two runs with the same seed and the
+same plan are bit-identical — the property the chaos experiments assert.
+
+Targets are symbolic so one plan works against any middleware:
+
+=====================  =====================================================
+``"*"``                every host pair (link faults)
+``"host:hydra5"``      link faults touching one host
+``"broker:1"``         the second broker of whatever deployment is attached
+``"node:hydra1"``      a cluster node (CPU faults)
+``"consumer:0"``       the first attached consumer (application faults)
+=====================  =====================================================
+
+The named templates at the bottom (:data:`PLANS`) are functions of the
+measurement window — ``template(measure_since, duration)`` — so the same
+``--fault-plan loss_burst`` lands its fault window inside the steady-state
+window at every scale preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+#: Fault kinds the scheduler understands.
+FAULT_KINDS = (
+    "packet_loss",
+    "latency",
+    "partition",
+    "broker_crash",
+    "cpu_slowdown",
+    "memory_pressure",
+    "stall",
+    "slow_consumer",
+    "consumer_crash",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault event."""
+
+    kind: str
+    #: Absolute simulated time the fault starts.
+    at: float
+    #: How long it lasts; 0 for instantaneous faults (crash without restart).
+    duration: float = 0.0
+    #: Symbolic target (see module docstring).
+    target: str = "*"
+    #: Kind-specific parameters.
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.duration < 0:
+            raise ValueError("fault duration must be >= 0")
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+
+class FaultPlan:
+    """A builder-style ordered schedule of faults."""
+
+    def __init__(self) -> None:
+        self._specs: list[FaultSpec] = []
+
+    # ------------------------------------------------------------ link faults
+    def packet_loss(
+        self,
+        at: float,
+        duration: float,
+        probability: float,
+        src: str = "*",
+        dst: str = "*",
+    ) -> "FaultPlan":
+        """Raise per-fragment datagram loss to ``probability`` in a window.
+
+        Only droppable (datagram) traffic is affected; stream transfers are
+        the transport layer's reliability problem and never vanish mid-wire.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        return self._add(
+            FaultSpec(
+                "packet_loss", at, duration, f"{src}->{dst}",
+                {"probability": probability, "src": src, "dst": dst},
+            )
+        )
+
+    def latency(
+        self,
+        at: float,
+        duration: float,
+        extra: float,
+        jitter: float = 0.0,
+        src: str = "*",
+        dst: str = "*",
+    ) -> "FaultPlan":
+        """Add ``extra`` seconds (plus exponential ``jitter`` mean) per
+        transfer in a window — a congested or flapping path."""
+        if extra < 0 or jitter < 0:
+            raise ValueError("latency amounts must be >= 0")
+        return self._add(
+            FaultSpec(
+                "latency", at, duration, f"{src}->{dst}",
+                {"extra": extra, "jitter": jitter, "src": src, "dst": dst},
+            )
+        )
+
+    def partition(
+        self, at: float, duration: float, hosts: tuple[str, ...]
+    ) -> "FaultPlan":
+        """Isolate ``hosts`` from the rest of the LAN.
+
+        Datagrams crossing the cut are dropped; stream traffic is *held*
+        (delivered only once the partition heals), matching TCP's contract
+        that accepted bytes eventually arrive.
+        """
+        if not hosts:
+            raise ValueError("partition needs at least one host")
+        return self._add(
+            FaultSpec(
+                "partition", at, duration, ",".join(hosts),
+                {"hosts": tuple(hosts)},
+            )
+        )
+
+    # ------------------------------------------------------------ node faults
+    def broker_crash(
+        self, at: float, broker: str = "broker:0", restart_after: float | None = None
+    ) -> "FaultPlan":
+        """Kill a broker process (sever its connections); optionally restart
+        it ``restart_after`` seconds later."""
+        duration = restart_after if restart_after is not None else 0.0
+        return self._add(
+            FaultSpec(
+                "broker_crash", at, duration, broker,
+                {"restart_after": restart_after},
+            )
+        )
+
+    def cpu_slowdown(
+        self, at: float, duration: float, node: str, factor: float
+    ) -> "FaultPlan":
+        """Divide a node's CPU speed by ``factor`` for a window (thermal
+        throttling, a co-scheduled job)."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        return self._add(
+            FaultSpec(
+                "cpu_slowdown", at, duration, f"node:{node}", {"factor": factor}
+            )
+        )
+
+    def memory_pressure(
+        self, at: float, broker: str, nbytes: float, duration: float | None = None
+    ) -> "FaultPlan":
+        """Allocate ``nbytes`` of ballast on a broker's JVM heap.
+
+        Mirrors Fig 7's exhaustion: the broker refuses connections it can no
+        longer hold state for, and if the ballast itself does not fit the
+        JVM dies and the broker is killed.  With ``duration`` the ballast is
+        freed again (a leak that gets collected).
+        """
+        if nbytes <= 0:
+            raise ValueError("ballast must be positive")
+        return self._add(
+            FaultSpec(
+                "memory_pressure", at, duration or 0.0, broker,
+                {"nbytes": nbytes, "release": duration is not None},
+            )
+        )
+
+    def stall(self, at: float, duration: float, node: str) -> "FaultPlan":
+        """Seize a node's CPU with one non-preemptible job for ``duration``
+        seconds — a stop-the-world GC pause or a wedged servlet."""
+        return self._add(FaultSpec("stall", at, duration, f"node:{node}"))
+
+    # ----------------------------------------------------- application faults
+    def slow_consumer(
+        self, at: float, duration: float, consumer: int, factor: float
+    ) -> "FaultPlan":
+        """Multiply one consumer's per-record processing CPU by ``factor``."""
+        if factor < 1.0:
+            raise ValueError("slow-consumer factor must be >= 1")
+        return self._add(
+            FaultSpec(
+                "slow_consumer", at, duration, f"consumer:{consumer}",
+                {"factor": factor},
+            )
+        )
+
+    def consumer_crash(self, at: float, consumer: int) -> "FaultPlan":
+        """Close one consumer (its group should rebalance around it)."""
+        return self._add(FaultSpec("consumer_crash", at, 0.0, f"consumer:{consumer}"))
+
+    # -------------------------------------------------------------- plumbing
+    def _add(self, spec: FaultSpec) -> "FaultPlan":
+        self._specs.append(spec)
+        self._specs.sort(key=lambda s: (s.at, s.kind, s.target))
+        return self
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(self._specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultPlan {len(self._specs)} specs>"
+
+
+# --------------------------------------------------------------- templates
+#: A template maps the steady-state measurement window onto a concrete plan.
+PlanTemplate = Callable[[float, float], FaultPlan]
+
+
+def loss_burst(measure_since: float, duration: float) -> FaultPlan:
+    """25 % per-fragment datagram loss over the middle of the window."""
+    return FaultPlan().packet_loss(
+        at=measure_since + 0.2 * duration,
+        duration=0.4 * duration,
+        probability=0.25,
+    )
+
+
+def latency_spike(measure_since: float, duration: float) -> FaultPlan:
+    """+40 ms (plus 10 ms exponential jitter) per transfer mid-window."""
+    return FaultPlan().latency(
+        at=measure_since + 0.2 * duration,
+        duration=0.4 * duration,
+        extra=0.040,
+        jitter=0.010,
+    )
+
+
+def partition_window(measure_since: float, duration: float) -> FaultPlan:
+    """Cut one client node (hydra7) off the switch for a fifth of the run."""
+    return FaultPlan().partition(
+        at=measure_since + 0.3 * duration,
+        duration=0.2 * duration,
+        hosts=("hydra7",),
+    )
+
+
+def broker_outage(measure_since: float, duration: float) -> FaultPlan:
+    """Crash the second broker a quarter in; restart it after 0.35·duration."""
+    return FaultPlan().broker_crash(
+        at=measure_since + 0.25 * duration,
+        broker="broker:1",
+        restart_after=0.35 * duration,
+    )
+
+
+def mixed(measure_since: float, duration: float) -> FaultPlan:
+    """Loss burst plus a latency spike, overlapping — a genuinely bad day."""
+    plan = loss_burst(measure_since, duration)
+    plan.latency(
+        at=measure_since + 0.5 * duration,
+        duration=0.3 * duration,
+        extra=0.025,
+        jitter=0.005,
+    )
+    return plan
+
+
+#: ``--fault-plan`` registry: name -> template.
+PLANS: dict[str, PlanTemplate] = {
+    "loss_burst": loss_burst,
+    "latency_spike": latency_spike,
+    "partition": partition_window,
+    "broker_outage": broker_outage,
+    "mixed": mixed,
+}
+
+
+def named_plan(name: str) -> PlanTemplate:
+    try:
+        return PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; choose from {sorted(PLANS)}"
+        ) from None

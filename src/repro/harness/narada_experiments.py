@@ -85,9 +85,18 @@ def narada_run(
     scale: Optional[Scale] = None,
     seed: int = 1,
     config: Optional[NaradaConfig] = None,
+    fault_plan: Any = None,
+    fleet_retry: Any = None,
+    fleet_failover: bool = False,
 ) -> NaradaRunResult:
     """One §III.E test: ``connections`` generators against one broker or the
-    4-broker DBN, measured in steady state."""
+    4-broker DBN, measured in steady state.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` or a template callable
+    ``(measure_since, duration) -> FaultPlan``) arms fault injection against
+    this run; ``fleet_retry``/``fleet_failover`` give the publishers
+    retry-with-backoff and broker-failover recovery.
+    """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
     cluster = HydraCluster(sim)
@@ -128,6 +137,8 @@ def narada_run(
         stop_at=stop_at,
         payload_multiplier=payload_multiplier,
         client_nodes=CLIENT_NODES,
+        retry=fleet_retry,
+        failover=fleet_failover,
     )
     book = RecordBook()
 
@@ -182,6 +193,18 @@ def narada_run(
         topic=MONITORING_TOPIC,
     )
     fleet.start()
+
+    if fault_plan is not None:
+        from repro.faults import FaultScheduler
+
+        plan = (
+            fault_plan(measure_since, scale.duration)
+            if callable(fault_plan)
+            else fault_plan
+        )
+        FaultScheduler(sim, plan).attach(
+            lan=cluster.lan, cluster=cluster, brokers=brokers
+        )
 
     end = stop_at + scale.drain
     sim.run(until=end)

@@ -24,12 +24,13 @@ from repro.cluster import HydraCluster, VmStat
 from repro.cluster.vmstat import VmStatSummary
 from repro.core import ExperimentResult, RecordBook, percentile_curve, rtt_stats
 from repro.core.metrics import soft_realtime_compliance
+from repro.faults import FaultScheduler
 from repro.harness.narada_experiments import steady_state_summary
 from repro.harness.scale import Scale
 from repro.plog import PlogConfig, PlogDeployment
 from repro.powergrid import FleetConfig, PlogFleet, PlogReceiver
 from repro.sim import Simulator
-from repro.transport import TcpTransport
+from repro.transport import TcpTransport, UdpTransport
 
 CLIENT_NODES = ("hydra5", "hydra6", "hydra7", "hydra8")
 BROKER_NODES_SINGLE = ("hydra1",)
@@ -63,6 +64,25 @@ class PlogRunResult:
     rtts: Any  # np.ndarray of measured-window RTT seconds
     broker_stats: dict[str, Any] = field(default_factory=dict)
     duplicates: int = 0
+    #: Human-readable fault injection log ("t=... kind target note").
+    fault_log: list[str] = field(default_factory=list)
+    #: Recovery counters (all zero without faults / recovery config).
+    producer_retries: int = 0
+    producer_reconnects: int = 0
+    consumer_recoveries: int = 0
+
+
+def _plog_transport(kind: str, sim: Simulator, lan: Any) -> Any:
+    if kind == "tcp":
+        return TcpTransport(sim, lan)
+    if kind == "udp":
+        # Acked datagrams with zero baseline loss: the chaos experiments
+        # inject loss through the LAN fault windows instead, so the no-fault
+        # phases of a run stay clean.
+        return UdpTransport(
+            sim, lan, loss_probability=0.0, acked=True, rto=0.15, max_retries=1
+        )
+    raise ValueError(f"unknown transport {kind!r}")
 
 
 def plog_run(
@@ -73,14 +93,21 @@ def plog_run(
     seed: int = 1,
     config: Optional[PlogConfig] = None,
     deadline_s: float = 5.0,
+    transport_kind: str = "tcp",
+    fault_plan: Any = None,
 ) -> PlogRunResult:
     """One grid-monitoring test: ``connections`` generators against a
     partitioned-log deployment of ``n_brokers`` brokers, measured in steady
-    state."""
+    state.
+
+    ``fault_plan`` is either a :class:`repro.faults.FaultPlan` or a template
+    callable ``(measure_since, duration) -> FaultPlan``; its events are
+    armed against this run's LAN, brokers and consumers.
+    """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
     cluster = HydraCluster(sim)
-    transport = TcpTransport(sim, cluster.lan)
+    transport = _plog_transport(transport_kind, sim, cluster.lan)
     config = config or PlogConfig()
 
     broker_nodes = (
@@ -125,6 +152,21 @@ def plog_run(
     fleet = PlogFleet(sim, cluster, deployment, fleet_config, book)
     fleet.start()
 
+    scheduler = None
+    if fault_plan is not None:
+        plan = (
+            fault_plan(measure_since, scale.duration)
+            if callable(fault_plan)
+            else fault_plan
+        )
+        scheduler = FaultScheduler(sim, plan)
+        scheduler.attach(
+            lan=cluster.lan,
+            cluster=cluster,
+            brokers=deployment.brokers,
+            consumers=[r.consumer for r in receivers],
+        )
+
     sim.run(until=stop_at + scale.drain)
     for vm in vmstats.values():
         vm.stop()
@@ -168,6 +210,15 @@ def plog_run(
             for b in deployment.brokers
         },
         duplicates=sum(r.duplicates for r in receivers),
+        fault_log=scheduler.render_log() if scheduler is not None else [],
+        producer_retries=sum(p.retries for p in fleet._producers),
+        producer_reconnects=sum(p.reconnects for p in fleet._producers),
+        consumer_recoveries=sum(
+            r.consumer.fetch_retries
+            + r.consumer.fetch_timeouts
+            + r.consumer.reconnects
+            for r in receivers
+        ),
     )
 
 

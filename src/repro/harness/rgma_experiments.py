@@ -52,8 +52,14 @@ def rgma_run(
     scale: Optional[Scale] = None,
     seed: int = 1,
     config: Optional[RGMAConfig] = None,
+    fault_plan: Any = None,
 ) -> RgmaRunResult:
-    """One §III.F test: ``connections`` Primary Producers, two subscribers."""
+    """One §III.F test: ``connections`` Primary Producers, two subscribers.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` or a template callable
+    ``(measure_since, duration) -> FaultPlan``) arms link- and node-level
+    fault injection; servlet stalls target the server nodes.
+    """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
     cluster = HydraCluster(sim)
@@ -129,6 +135,16 @@ def rgma_run(
 
     fleet = RgmaFleet(sim, cluster, deployment, fleet_config, book)
     fleet.start()
+
+    if fault_plan is not None:
+        from repro.faults import FaultScheduler
+
+        plan = (
+            fault_plan(measure_since, scale.duration)
+            if callable(fault_plan)
+            else fault_plan
+        )
+        FaultScheduler(sim, plan).attach(lan=cluster.lan, cluster=cluster)
 
     # The SP path adds its deliberate delay to every message: extend the
     # drain so republished tuples are observed.

@@ -18,7 +18,9 @@ from typing import Any, Callable, Optional
 from repro.cluster.hydra import HYDRA_SPEC
 from repro.core import ExperimentResult
 from repro.core.comparison import MiddlewareMeasurements, table_iii
+from repro.faults import PLANS
 from repro.harness import (
+    chaos_experiments,
     decomposition,
     narada_experiments,
     plog_experiments,
@@ -293,6 +295,35 @@ def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
     result.meta["rgma"] = rgma
     result.meta["plog"] = plog
     return result
+
+
+# ------------------------------------------------------- chaos experiments
+
+#: Experiments that accept a ``fault_plan`` keyword (the ``--fault-plan``
+#: CLI flag is only forwarded to these).
+CHAOS_EXPERIMENTS = ("chaos_threeway", "chaos_broker_failover")
+
+#: Default plan per chaos experiment when ``--fault-plan`` is not given.
+_CHAOS_DEFAULT_PLAN = {
+    "chaos_threeway": "loss_burst",
+    "chaos_broker_failover": "broker_outage",
+}
+
+
+def _chaos_threeway(
+    scale: Scale, seed: int, fault_plan: str = "loss_burst"
+) -> ExperimentResult:
+    return chaos_experiments.chaos_threeway(
+        scale=scale, seed=seed, fault_plan=fault_plan
+    )
+
+
+def _chaos_broker_failover(
+    scale: Scale, seed: int, fault_plan: str = "broker_outage"
+) -> ExperimentResult:
+    return chaos_experiments.chaos_broker_failover(
+        scale=scale, seed=seed, fault_plan=fault_plan
+    )
 
 
 # -------------------------------------------------------------- experiments
@@ -828,6 +859,8 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "plog_scaling": _plog_scaling,
     "plog_percentiles": _plog_percentiles,
     "fig15_threeway": _fig15_threeway,
+    "chaos_threeway": _chaos_threeway,
+    "chaos_broker_failover": _chaos_broker_failover,
     "ablation_dbn_routing": _ablation_dbn_routing,
     "ablation_udp_ack": _ablation_udp_ack,
     "ablation_rgma_mediator": _ablation_rgma_mediator,
@@ -862,6 +895,8 @@ DESCRIPTIONS: dict[str, str] = {
     "plog_scaling": "Partitioned log: RTT + §I SLA compliance to 16k connections",
     "plog_percentiles": "Partitioned log: percentile of RTT per connection count",
     "fig15_threeway": "RTT decomposition for R-GMA, Narada and the plog",
+    "chaos_threeway": "All three middlewares under one deterministic fault plan",
+    "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover",
     "ablation_dbn_routing": "DBN broadcast flaw vs subscription-aware routing",
     "ablation_udp_ack": "UDP with and without the JMS ack protocol",
     "ablation_rgma_mediator": "R-GMA process time vs consumer per-tuple cost",
@@ -886,8 +921,13 @@ def run(
     experiment_id: str,
     scale: Optional[Scale | str] = None,
     seed: int = 1,
+    fault_plan: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id; returns its :class:`ExperimentResult`."""
+    """Run one experiment by id; returns its :class:`ExperimentResult`.
+
+    ``fault_plan`` selects a named fault schedule for the chaos experiments
+    and is an error for any other experiment id.
+    """
     if isinstance(scale, str):
         scale = Scale.named(scale)
     scale = scale or Scale.from_env()
@@ -897,6 +937,14 @@ def run(
         raise ValueError(
             f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}"
         ) from None
+    if experiment_id in CHAOS_EXPERIMENTS:
+        plan = fault_plan or _CHAOS_DEFAULT_PLAN[experiment_id]
+        return fn(scale, seed, fault_plan=plan)
+    if fault_plan is not None:
+        raise ValueError(
+            f"--fault-plan only applies to chaos experiments "
+            f"{CHAOS_EXPERIMENTS}, not {experiment_id!r}"
+        )
     return fn(scale, seed)
 
 
@@ -916,6 +964,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--scale", default=None, choices=["bench", "smoke", "full"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        choices=sorted(PLANS),
+        help="fault schedule for the chaos experiments",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print(list_experiments())
@@ -926,7 +980,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
     for experiment_id in ids:
-        result = run(experiment_id, scale=args.scale, seed=args.seed)
+        plan = args.fault_plan if experiment_id in CHAOS_EXPERIMENTS else None
+        result = run(
+            experiment_id, scale=args.scale, seed=args.seed, fault_plan=plan
+        )
         print(result.render())
         print()
     return 0

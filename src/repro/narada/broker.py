@@ -109,6 +109,10 @@ class Broker:
         self.alive = True
         #: Currently-open client connections (drives scheduling overhead).
         self.open_connections = 0
+        #: Open client channels, tracked so a crash can sever them.
+        self._client_channels: list[Channel] = []
+        self.crashes = 0
+        self.restarts = 0
         #: Aggregation buffers: sub_id -> pending message copies.
         self._agg_buffers: dict[str, list] = {}
 
@@ -135,6 +139,7 @@ class Broker:
             raise ChannelClosed(f"broker {self.name} out of memory: {exc}") from exc
         self.stats.connections_accepted += 1
         self.open_connections += 1
+        self._client_channels.append(channel)
         self.node.execute_process(self.config.accept_cpu)
 
     def _sched_overhead(self) -> float:
@@ -258,6 +263,10 @@ class Broker:
     def _on_channel_closed(self, channel: Channel) -> None:
         """Client disconnected: durable subscriptions go offline (messages
         buffer until re-subscribe); non-durable ones die with the channel."""
+        try:
+            self._client_channels.remove(channel)
+        except ValueError:
+            pass  # already severed by a crash
         for sub in list(self._subs_by_id.values()):
             if sub.channel is not channel and sub.channel is not channel.peer:
                 continue
@@ -431,3 +440,37 @@ class Broker:
     # ---------------------------------------------------------------- admin
     def shutdown(self) -> None:
         self.alive = False
+
+    def crash(self) -> None:
+        """Kill the broker process: refuse new connections, sever open ones.
+
+        Each closed channel delivers an EOF through its normal service path
+        (connection thread or NIO selector queue), so heap accounting and
+        subscription teardown follow the clean-disconnect code.  Unlike the
+        commit log, Narada state is all in-memory: non-durable
+        subscriptions die with their channels, so clients must reconnect
+        *and* resubscribe after a restart.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        for channel in list(self._client_channels):
+            if not channel.closed:
+                channel.close()
+        self._client_channels.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed broker back up (the listener stays registered).
+
+        The NIO selector thread died with the crash; respawn it so stale
+        EOFs drain and new registrations are served.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        if self._nio_queue is not None:
+            self.jvm.spawn_thread(
+                self._selector_loop(), name=f"{self.name}.selector"
+            )

@@ -108,6 +108,10 @@ class PlogBroker:
         self.coordinator: Optional["GroupCoordinator"] = None
         self.alive = True
         self.open_connections = 0
+        #: Open client channels, tracked so a crash can sever them.
+        self._client_channels: list[Channel] = []
+        self.crashes = 0
+        self.restarts = 0
 
     # ------------------------------------------------------------ partitions
     def create_partition(self, topic: str, partition: int) -> PartitionLog:
@@ -143,6 +147,7 @@ class PlogBroker:
             raise ChannelClosed(f"broker {self.name} out of memory: {exc}") from exc
         self.stats.connections_accepted += 1
         self.open_connections += 1
+        self._client_channels.append(channel)
         channel.on_deliver = lambda d: self._requests.put_nowait((channel, d))
         self.node.execute_process(self.config.accept_cpu)
 
@@ -161,6 +166,10 @@ class PlogBroker:
             yield from self._handle(channel, delivery.payload)
 
     def _on_channel_closed(self, channel: Channel) -> None:
+        try:
+            self._client_channels.remove(channel)
+        except ValueError:
+            pass  # already severed by a crash
         for waiters in self._waiters.values():
             for waiter in waiters:
                 if waiter.channel is channel or waiter.channel is channel.peer:
@@ -319,3 +328,36 @@ class PlogBroker:
 
     def shutdown(self) -> None:
         self.alive = False
+
+    def crash(self) -> None:
+        """Kill the broker process: refuse new connections, sever open ones.
+
+        Closing each channel queues an EOF through the normal request path,
+        so per-connection heap is freed (by the dying I/O threads, or by
+        the restarted pool draining stale EOFs) exactly as on a clean
+        disconnect.  Partition logs survive — the commit log is durable
+        storage, so a restarted broker resumes serving existing offsets.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._io_started = False
+        self.crashes += 1
+        for channel in list(self._client_channels):
+            if not channel.closed:
+                channel.close()
+        self._client_channels.clear()
+        self._waiters.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed broker back up with a fresh I/O thread pool."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        if not self._io_started:
+            self._io_started = True
+            for i in range(self.config.io_threads):
+                self.jvm.spawn_thread(
+                    self._io_loop(), name=f"{self.name}.io{i}"
+                )

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.faults.recovery import RetryPolicy
+
 KiB = 1024
 MiB = 1024 * 1024
 
@@ -97,6 +99,30 @@ class PlogConfig:
     #: Per-partition retention: oldest whole segments are evicted once the
     #: partition exceeds this (bounds broker heap for long runs).
     retention_bytes: float = 8 * MiB
+
+    # -- fault recovery ----------------------------------------------------
+    #: Producer-side retry of a batch whose send or acknowledgement failed.
+    #: The default (retries=0) keeps the pre-fault behaviour: one shot,
+    #: failures count into ``send_failures``.
+    producer_retry: RetryPolicy = RetryPolicy()
+    #: With retries enabled, how long a producer waits for a produce_ack
+    #: before treating the attempt as lost and backing off.
+    produce_ack_timeout: float = 1.0
+    #: Reroute records whose partition's broker is down to a partition on a
+    #: surviving broker (sticky until the producer reconnects).
+    failover: bool = False
+    #: Consumer-side recovery: re-issue timed-out fetches, reconnect dead
+    #: sessions with capped backoff, keep committing through coordinator
+    #: hiccups.  Off by default so the no-fault schedule is untouched.
+    consumer_recovery: bool = False
+    #: Consumer: extra wait beyond ``fetch_max_wait`` before a fetch with no
+    #: response is re-issued (covers a lost response or a stalled broker).
+    fetch_response_grace: float = 1.0
+    #: Consumer reconnect/refetch backoff: first delay and its cap (the
+    #: consumer never gives up while it holds an assignment — a monitoring
+    #: pipeline's reader should outlive transient broker outages).
+    consumer_retry_backoff: float = 0.2
+    consumer_retry_max: float = 2.0
 
     # -- consumer groups ---------------------------------------------------
     #: Coordinator waits this long after a membership change before

@@ -84,6 +84,13 @@ class PlogConsumer:
         self.records_consumed = 0
         self.fetches_issued = 0
         self.rebalances_seen = 0
+        #: Recovery counters (only move with ``config.consumer_recovery``).
+        self.fetch_retries = 0
+        self.fetch_timeouts = 0
+        self.reconnects = 0
+        #: Scales per-record processing CPU; the slow-consumer fault raises
+        #: it for a window, modelling a starved subscriber.
+        self.record_cpu_multiplier = 1.0
         self.closed = False
 
     # --------------------------------------------------------------- startup
@@ -131,15 +138,24 @@ class PlogConsumer:
     def _fetch_loop(
         self, partition: int, generation: int
     ) -> Generator[Any, Any, None]:
-        try:
-            session = yield from self._session_for(partition)
-        except (TransportError, MessageLost):
-            return
         cfg = self.config
+        recover = cfg.consumer_recovery
+        backoff = cfg.consumer_retry_backoff
         while not self.closed and self.generation == generation:
             offset = self.positions.get(partition)
             if offset is None:
                 return  # partition was reassigned away
+            try:
+                session = yield from self._session_for(partition)
+            except (TransportError, MessageLost):
+                if not recover:
+                    return
+                # Broker down: keep knocking — the log is durable, so the
+                # loop resumes at its committed offset once it is back.
+                self.reconnects += 1
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2.0, cfg.consumer_retry_max)
+                continue
             self._corr += 1
             corr = self._corr
             response = self.sim.event()
@@ -157,16 +173,49 @@ class PlogConsumer:
                     ),
                     cfg.frame_overhead_bytes,
                 )
-            except (MessageLost, ChannelClosed):
+            except (MessageLost, ChannelClosed) as exc:
                 session.pending.pop(corr, None)
-                return
+                if not recover:
+                    return
+                if isinstance(exc, ChannelClosed):
+                    self._drop_session(session)
+                self.fetch_retries += 1
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2.0, cfg.consumer_retry_max)
+                continue
             self.fetches_issued += 1
-            records, next_offset, _hwm = yield response
+            if recover:
+                deadline = self.sim.timeout(
+                    cfg.fetch_max_wait + cfg.fetch_response_grace
+                )
+                yield self.sim.any_of([response, deadline])
+                if not response.triggered:
+                    # Response lost or broker stalled: re-issue from the
+                    # same offset (a late response is dropped harmlessly).
+                    session.pending.pop(corr, None)
+                    self.fetch_timeouts += 1
+                    continue
+                result = response.value
+            else:
+                result = yield response
+            if result is None:
+                # Session died while we were parked (reader saw EOF).
+                if not recover:
+                    return
+                self._drop_session(session)
+                self.reconnects += 1
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2.0, cfg.consumer_retry_max)
+                continue
+            backoff = cfg.consumer_retry_backoff
+            records, next_offset, _hwm = result
             t_arrived = self.sim.now
             if self.closed or self.generation != generation:
                 return  # stale: do not advance offsets past a rebalance
             for _offset, value in records:
-                yield from self.node.execute(cfg.consumer_record_cpu)
+                yield from self.node.execute(
+                    cfg.consumer_record_cpu * self.record_cpu_multiplier
+                )
                 self.records_consumed += 1
                 if self.on_record is not None:
                     self.on_record(value, t_arrived)
@@ -178,6 +227,15 @@ class PlogConsumer:
     ) -> Generator[Any, Any, _BrokerSession]:
         broker_name = self.deployment.owner_name(partition)
         session = self._sessions.get(broker_name)
+        if (
+            session is not None
+            and self.config.consumer_recovery
+            and session.channel is not None
+            and session.channel.closed
+        ):
+            # Stale session from before a broker crash: rebuild it.
+            self._drop_session(session)
+            session = None
         if session is not None:
             # Another fetch loop owns the connect; wait until it is usable.
             if session.channel is None:
@@ -202,15 +260,25 @@ class PlogConsumer:
         )
         return session
 
+    def _drop_session(self, session: _BrokerSession) -> None:
+        """Forget a dead broker session so the next fetch reconnects."""
+        for name, existing in list(self._sessions.items()):
+            if existing is session:
+                del self._sessions[name]
+        if session.channel is not None and not session.channel.closed:
+            session.channel.close()
+
     def _response_reader(
         self, session: _BrokerSession
     ) -> Generator[Any, Any, None]:
         while not self.closed:
             delivery = yield session.channel.receive()
             if delivery.payload is EOF:
+                # ``None`` tells parked fetch loops the session is gone —
+                # they reconnect (recovery) or terminate (legacy).
                 for event in session.pending.values():
                     if not event.triggered:
-                        event.succeed(([], 0, 0))
+                        event.succeed(None)
                 session.pending.clear()
                 return
             frame = delivery.payload
@@ -236,7 +304,10 @@ class PlogConsumer:
                     self.config.control_bytes,
                 )
             except (MessageLost, ChannelClosed):
-                return
+                if not self.config.consumer_recovery:
+                    return
+                # Keep the loop alive: commits resume once the coordinator
+                # is reachable again (missed commits just widen replay).
 
     # ------------------------------------------------------------------ admin
     def close(self) -> None:

@@ -76,6 +76,26 @@ class PlogDeployment:
     def owner_name(self, partition: int) -> str:
         return self.owner(partition).name
 
+    def live_partition(self, partition: int) -> int:
+        """``partition`` itself if its broker is up, else a partition owned
+        by the nearest surviving broker (producer failover).
+
+        Stepping the partition index steps the owning broker (round-robin
+        layout), so ``partition + k`` probes broker ``(p + k) % n``.  With
+        every broker down the original partition is returned — the caller's
+        connect will fail and count as a refusal/retry.
+        """
+        def up(broker: PlogBroker) -> bool:
+            return broker.alive and not broker.jvm.dead
+
+        if up(self.owner(partition)):
+            return partition
+        for k in range(1, len(self.brokers)):
+            candidate = (partition + k) % self.config.partitions
+            if up(self.owner(candidate)):
+                return candidate
+        return partition
+
     def serve(self) -> None:
         """Start every broker listening on its port."""
         for broker in self.brokers:

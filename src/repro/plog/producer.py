@@ -14,6 +14,15 @@ With ``acks=1`` the producer stamps a record's ``t_after_send`` when the
 broker's append acknowledgement arrives — the plog analogue of Narada's
 publish round-trip (PRT).  With ``acks=0`` the stamp lands as soon as the
 bytes are in the socket buffer.
+
+Recovery (``config.producer_retry.enabled``): a batch whose send fails, or
+whose acknowledgement does not arrive within ``produce_ack_timeout``, is
+retried with exponential backoff; a dead channel is reconnected first, and
+with ``config.failover`` the reconnect reroutes the batch to a partition on
+a surviving broker.  Retries give at-least-once semantics — an ack lost
+after a successful append yields a duplicate append, which the recording
+receiver deduplicates — so loss under a fault window converges to zero
+instead of accumulating in ``send_failures``.
 """
 
 from __future__ import annotations
@@ -23,7 +32,13 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.plog.config import PlogConfig
 from repro.plog.partitioner import partition_for
-from repro.transport.base import Channel, ChannelClosed, MessageLost, EOF
+from repro.transport.base import (
+    Channel,
+    ChannelClosed,
+    MessageLost,
+    TransportError,
+    EOF,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -38,6 +53,17 @@ class _PendingRecord:
     nbytes: float
     #: Optional :class:`repro.core.records.MessageRecord` to stamp.
     record: Any = None
+
+
+@dataclass
+class _PendingAck:
+    """Records awaiting a produce_ack, plus (retry mode only) the event the
+    flusher parks on.  ``event`` stays ``None`` in legacy one-shot mode so
+    the no-fault schedule is untouched."""
+
+    records: list[_PendingRecord]
+    event: Any = None
+    channel: Optional[Channel] = None
 
 
 @dataclass
@@ -71,11 +97,15 @@ class PlogProducer:
         self._epochs: dict[tuple[str, int], int] = {}
         self._corr = 0
         #: corr id -> records awaiting a produce_ack.
-        self._pending_acks: dict[int, list[_PendingRecord]] = {}
+        self._pending_acks: dict[int, _PendingAck] = {}
+        #: logical partition -> partition actually routed to (failover).
+        self._routes: dict[int, int] = {}
         self.records_sent = 0
         self.batches_sent = 0
         self.acks_received = 0
         self.send_failures = 0
+        self.retries = 0
+        self.reconnects = 0
         self.closed = False
 
     # ------------------------------------------------------------ connecting
@@ -90,13 +120,25 @@ class PlogProducer:
         """
         partition = partition_for(key, self.deployment.n_partitions)
         if partition not in self._channels:
-            channel = yield from self.deployment.connect(self.node, partition)
-            self._channels[partition] = channel
-            if self.config.acks:
-                self.sim.process(
-                    self._ack_reader(channel), name=f"{self.name}.acks"
-                )
+            yield from self._open_channel(partition)
         return partition
+
+    def _open_channel(
+        self, partition: int
+    ) -> Generator[Any, Any, Channel]:
+        """(Re)connect ``partition``'s channel; with failover, reroute to a
+        partition owned by a surviving broker first."""
+        actual = partition
+        if self.config.failover:
+            actual = self.deployment.live_partition(partition)
+        self._routes[partition] = actual
+        channel = yield from self.deployment.connect(self.node, actual)
+        self._channels[partition] = channel
+        if self.config.acks:
+            self.sim.process(
+                self._ack_reader(channel), name=f"{self.name}.acks"
+            )
+        return channel
 
     # --------------------------------------------------------------- sending
     def send(
@@ -151,49 +193,104 @@ class PlogProducer:
         self, bkey: tuple[str, int], batch: _Batch
     ) -> Generator[Any, Any, None]:
         topic, partition = bkey
-        channel = self._channels[partition]
-        self._corr += 1
-        corr = self._corr
+        policy = self.config.producer_retry
+        acks = self.config.acks
         wire_batch = [(r.key, r.value, r.nbytes) for r in batch.records]
         nbytes = (
             batch.nbytes
             + self.config.frame_overhead_bytes
             + self.config.batch_overhead_bytes
         )
-        acks = self.config.acks
-        if acks:
-            self._pending_acks[corr] = batch.records
-        try:
-            yield from channel.send(
-                ("produce", corr, topic, partition, wire_batch, acks), nbytes
+        attempt = 0
+        while True:
+            attempt += 1
+            channel = self._channels.get(partition)
+            if policy.enabled and (channel is None or channel.closed):
+                try:
+                    channel = yield from self._open_channel(partition)
+                    self.reconnects += 1
+                except (TransportError, ChannelClosed):
+                    channel = None
+            corr = 0
+            ack_event = None
+            sent = False
+            if channel is not None:
+                self._corr += 1
+                corr = self._corr
+                if acks:
+                    if policy.enabled:
+                        ack_event = self.sim.event()
+                    self._pending_acks[corr] = _PendingAck(
+                        batch.records, ack_event, channel
+                    )
+                target = self._routes.get(partition, partition)
+                try:
+                    yield from channel.send(
+                        ("produce", corr, topic, target, wire_batch, acks),
+                        nbytes,
+                    )
+                    sent = True
+                except (MessageLost, ChannelClosed):
+                    self._pending_acks.pop(corr, None)
+            if sent:
+                if not acks:
+                    # Fire-and-forget: the round trip ends at the socket.
+                    self.batches_sent += 1
+                    self.records_sent += len(batch.records)
+                    for pending in batch.records:
+                        if pending.record is not None:
+                            pending.record.t_after_send = self.sim.now
+                    return
+                if not policy.enabled:
+                    # Legacy one-shot: the ack reader stamps records later.
+                    self.batches_sent += 1
+                    self.records_sent += len(batch.records)
+                    return
+                deadline = self.sim.timeout(self.config.produce_ack_timeout)
+                yield self.sim.any_of([ack_event, deadline])
+                if ack_event.triggered and ack_event.value:
+                    self.batches_sent += 1
+                    self.records_sent += len(batch.records)
+                    return
+                # Timed out or the channel died: retry the whole batch.
+                # If the append actually landed and only the ack was lost,
+                # the retry makes a duplicate — at-least-once by design.
+                self._pending_acks.pop(corr, None)
+            if not policy.enabled or attempt > policy.retries:
+                self.send_failures += len(batch.records)
+                return
+            self.retries += 1
+            yield self.sim.timeout(
+                policy.delay(attempt, self.sim, f"plog.retry.{self.name}")
             )
-        except (MessageLost, ChannelClosed):
-            self._pending_acks.pop(corr, None)
-            self.send_failures += len(batch.records)
-            return
-        self.batches_sent += 1
-        self.records_sent += len(batch.records)
-        if not acks:
-            # Fire-and-forget: the publish "round trip" ends at the socket.
-            for pending in batch.records:
-                if pending.record is not None:
-                    pending.record.t_after_send = self.sim.now
 
     def _ack_reader(self, channel: Channel) -> Generator[Any, Any, None]:
         while not self.closed:
             delivery = yield channel.receive()
             if delivery.payload is EOF:
+                # Channel died: fail this channel's in-flight batches so
+                # their flushers stop waiting and retry over a new channel.
+                for corr in [
+                    c
+                    for c, p in self._pending_acks.items()
+                    if p.channel is channel
+                ]:
+                    pending = self._pending_acks.pop(corr)
+                    if pending.event is not None and not pending.event.triggered:
+                        pending.event.succeed(False)
                 return
             frame = delivery.payload
             if frame[0] != "produce_ack":  # pragma: no cover - protocol guard
                 continue
             self.acks_received += 1
-            records = self._pending_acks.pop(frame[1], None)
-            if not records:
+            pending = self._pending_acks.pop(frame[1], None)
+            if pending is None:
                 continue
-            for pending in records:
-                if pending.record is not None:
-                    pending.record.t_after_send = self.sim.now
+            for record in pending.records:
+                if record.record is not None:
+                    record.record.t_after_send = self.sim.now
+            if pending.event is not None and not pending.event.triggered:
+                pending.event.succeed(True)
 
     # ----------------------------------------------------------------- admin
     def close(self) -> None:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.core.records import RecordBook
+from repro.faults.recovery import RetryPolicy
 from repro.jms import AckMode, Topic
 from repro.jms.message import MapMessage
 from repro.narada.client import narada_connection_factory
@@ -61,6 +62,13 @@ class FleetConfig:
     #: to its own generators with an id-range selector.  "roundrobin"
     #: interleaves instead.
     assignment: str = "block"
+    #: Publisher-side recovery: retry failed publishes with exponential
+    #: backoff (``None`` keeps the paper's one-shot behaviour, where a lost
+    #: publish is simply a lost message).
+    retry: Optional[RetryPolicy] = None
+    #: On a dead connection, fail over to the next broker address instead
+    #: of reconnecting to the same one (needs >1 broker to matter).
+    failover: bool = False
 
     def node_index(self, gen_id: int) -> int:
         """Which client node hosts generator ``gen_id``."""
@@ -97,6 +105,9 @@ class FleetStats:
     connections_refused: int = 0
     publishes_attempted: int = 0
     publish_failures: int = 0
+    #: Recovery counters (only move when ``FleetConfig.retry`` is set).
+    publish_retries: int = 0
+    reconnects: int = 0
 
 
 class NaradaFleet:
@@ -134,34 +145,44 @@ class NaradaFleet:
         for i in range(self.fleet.n_generators):
             node_index = self.fleet.node_index(i)
             node_name = self.fleet.client_nodes[node_index]
-            broker = self.broker_addresses[node_index % len(self.broker_addresses)]
+            broker_index = node_index % len(self.broker_addresses)
             self.sim.process(
-                self._generator(i, node_name, broker), name=f"gen{i}"
+                self._generator(i, node_name, broker_index), name=f"gen{i}"
             )
             yield self.sim.timeout(self.fleet.creation_interval)
 
-    def _generator(
-        self, gen_id: int, node_name: str, broker: tuple[str, int]
-    ) -> Generator[Any, Any, None]:
-        sim = self.sim
-        fleet = self.fleet
+    def _connect(
+        self, node_name: str, broker_index: int
+    ) -> Generator[Any, Any, tuple]:
+        """Build connection/session/publisher against one broker address."""
+        broker = self.broker_addresses[broker_index % len(self.broker_addresses)]
         factory = narada_connection_factory(
-            sim,
+            self.sim,
             self.transport,
             self.cluster.node(node_name),
             broker[0],
             broker[1],
             self.config,
         )
+        connection = yield from factory.create_connection()
+        connection.start()
+        session = connection.create_session()
+        publisher = session.create_publisher(self.topic)
+        return connection, publisher
+
+    def _generator(
+        self, gen_id: int, node_name: str, broker_index: int
+    ) -> Generator[Any, Any, None]:
+        sim = self.sim
+        fleet = self.fleet
         try:
-            connection = yield from factory.create_connection()
+            connection, publisher = yield from self._connect(
+                node_name, broker_index
+            )
         except (ChannelClosed, TransportError):
             self.stats.connections_refused += 1
             return
         self.stats.connections_ok += 1
-        connection.start()
-        session = connection.create_session()
-        publisher = session.create_publisher(self.topic)
         model = PowerGenerator(
             gen_id, sim.rng.stream(f"powergen.{gen_id}"),
             site=f"site-{gen_id % 97}",
@@ -172,6 +193,7 @@ class NaradaFleet:
             )
         interval = fleet.publish_interval * fleet.payload_multiplier
         stop_at = fleet.stop_at if fleet.stop_at is not None else sim.now + fleet.duration
+        retry = fleet.retry
         seq = 0
         while sim.now < stop_at:
             seq += 1
@@ -182,10 +204,41 @@ class NaradaFleet:
             record = self.book.new_record(gen_id, seq, sim.now)
             message._record = record
             self.stats.publishes_attempted += 1
-            try:
-                yield from publisher.publish(message)
-                record.t_after_send = sim.now
-            except (MessageLost, ChannelClosed):
+            published = False
+            attempt = 0
+            while True:
+                try:
+                    yield from publisher.publish(message)
+                    record.t_after_send = sim.now
+                    published = True
+                    break
+                except (MessageLost, ChannelClosed) as exc:
+                    if retry is None or not retry.enabled or attempt >= retry.retries:
+                        break
+                    attempt += 1
+                    self.stats.publish_retries += 1
+                    yield sim.timeout(
+                        retry.delay(attempt, sim, f"narada.retry.{gen_id}")
+                    )
+                    if isinstance(exc, ChannelClosed):
+                        # Dead connection: rebuild it — against the next
+                        # broker when failing over, the same one otherwise.
+                        if fleet.failover:
+                            broker_index = (
+                                broker_index + 1
+                            ) % len(self.broker_addresses)
+                        try:
+                            connection.close()
+                        except (ChannelClosed, TransportError):
+                            pass
+                        try:
+                            connection, publisher = yield from self._connect(
+                                node_name, broker_index
+                            )
+                            self.stats.reconnects += 1
+                        except (ChannelClosed, TransportError):
+                            continue  # broker still down; back off again
+            if not published:
                 self.stats.publish_failures += 1
             yield sim.timeout(interval)
         connection.close()

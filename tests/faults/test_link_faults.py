@@ -1,0 +1,114 @@
+"""LinkFaults consulted by Lan.transmit: loss, latency, partition windows."""
+
+from repro.cluster.network import Lan
+from repro.faults import LinkFaults
+from repro.sim import Simulator
+
+HOSTS = ("hydra1", "hydra7", "hydra8")
+
+
+def make_lan(seed=3, jitter_mean=0.0, with_faults=True):
+    sim = Simulator(seed=seed)
+    lan = Lan(sim, jitter_mean=jitter_mean)
+    for host in HOSTS:
+        lan.attach(host)
+    if with_faults:
+        lan.faults = LinkFaults(sim)
+    return sim, lan
+
+
+def at(sim, when, fn):
+    """Run ``fn`` at sim-time ``when``, collecting its return value."""
+    out = []
+    sim.call_at(when, lambda: out.append(fn()))
+    return out
+
+
+def test_loss_window_drops_datagrams_only_inside_the_window():
+    sim, lan = make_lan()
+    lan.faults.add_loss(10.0, 20.0, 1.0)  # certain loss for 10 s
+
+    before = at(sim, 5.0, lambda: lan.transmit("hydra1", "hydra7", 200, droppable=True))
+    inside = at(sim, 15.0, lambda: lan.transmit("hydra1", "hydra7", 200, droppable=True))
+    after = at(sim, 25.0, lambda: lan.transmit("hydra1", "hydra7", 200, droppable=True))
+    sim.run()
+
+    assert before[0] is not None
+    assert inside[0] is None
+    assert after[0] is not None
+    assert lan.tx_link("hydra1").stats.drops_random == 1
+
+
+def test_loss_windows_compose_multiplicatively():
+    sim, lan = make_lan()
+    lan.faults.add_loss(0.0, 10.0, 0.5)
+    lan.faults.add_loss(0.0, 10.0, 0.5, src="hydra1")
+    at(sim, 1.0, lambda: None)
+    sim.run()
+    assert abs(lan.faults.loss_probability("hydra1", "hydra7") - 0.75) < 1e-12
+    # The src="hydra1" window does not apply to other sources.
+    assert abs(lan.faults.loss_probability("hydra7", "hydra1") - 0.5) < 1e-12
+
+
+def test_loss_window_never_touches_stream_traffic():
+    sim, lan = make_lan()
+    lan.faults.add_loss(0.0, 10.0, 1.0)
+    got = at(sim, 1.0, lambda: lan.transmit("hydra1", "hydra7", 200, droppable=False))
+    sim.run()
+    assert got[0] is not None
+
+
+def test_partition_drops_datagrams_and_holds_streams():
+    sim, lan = make_lan()
+    lan.faults.add_partition(0.0, 5.0, ("hydra7",))
+
+    dropped = at(sim, 1.0, lambda: lan.transmit("hydra1", "hydra7", 200, droppable=True))
+    held = at(sim, 1.0, lambda: lan.transmit("hydra1", "hydra7", 200, droppable=False))
+    sim.run()
+
+    assert dropped[0] is None
+    assert lan.tx_link("hydra1").stats.drops_fault == 1
+    assert lan.faults.partition_drops == 1
+    # The stream transfer is delivered, but only after the cut heals at t=5.
+    assert held[0] is not None
+    assert held[0].value >= 4.0
+    assert lan.faults.partition_holds == 1
+
+
+def test_partition_is_a_cut_not_a_blackout():
+    """Traffic between two hosts on the same side of the cut is unaffected."""
+    sim, lan = make_lan()
+    lan.faults.add_partition(0.0, 5.0, ("hydra7", "hydra8"))
+    got = at(sim, 1.0, lambda: lan.transmit("hydra7", "hydra8", 200, droppable=True))
+    sim.run()
+    assert got[0] is not None
+    assert got[0].value < 1.0
+    assert lan.faults.partition_drops == 0
+
+
+def test_latency_window_adds_extra_delay():
+    sim_a, lan_a = make_lan(seed=5, with_faults=False)
+    sim_b, lan_b = make_lan(seed=5)
+    lan_b.faults.add_latency(0.0, 10.0, 0.05)
+
+    base = at(sim_a, 1.0, lambda: lan_a.transmit("hydra1", "hydra7", 200))
+    slow = at(sim_b, 1.0, lambda: lan_b.transmit("hydra1", "hydra7", 200))
+    sim_a.run()
+    sim_b.run()
+
+    extra = slow[0].value - base[0].value
+    assert abs(extra - 0.05) < 1e-9
+    assert lan_b.faults.delayed_transfers == 1
+
+
+def test_empty_link_faults_are_transparent():
+    """An installed-but-empty LinkFaults changes nothing, including RNG use."""
+    sim_a, lan_a = make_lan(seed=7, jitter_mean=80e-6, with_faults=False)
+    sim_b, lan_b = make_lan(seed=7, jitter_mean=80e-6)
+    assert lan_b.faults.empty
+
+    got_a = at(sim_a, 1.0, lambda: lan_a.transmit("hydra1", "hydra7", 1400))
+    got_b = at(sim_b, 1.0, lambda: lan_b.transmit("hydra1", "hydra7", 1400))
+    sim_a.run()
+    sim_b.run()
+    assert got_a[0].value == got_b[0].value

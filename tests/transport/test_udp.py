@@ -158,3 +158,40 @@ def test_retransmission_adds_latency_tail():
     fast = min(times)
     slow = max(times)
     assert slow >= fast + 0.1  # at least one RTO in the tail
+
+
+def test_retry_exhaustion_is_counted_as_loss_in_rtt_stats():
+    """An acked send that exhausts its retries must surface twice: as
+    MessageLost at the call site AND as loss in the record book's
+    ``RttStats.loss_rate`` — the number every loss table in the paper
+    reproduction reads."""
+    from repro.core import RecordBook
+    from repro.core.metrics import rtt_stats
+
+    sim, cluster, udp = setup(loss_probability=0.6, acked=True, max_retries=1, rto=0.05)
+    server_chans = []
+    ch = connect(sim, cluster, udp, server_chans)
+    book = RecordBook()
+    n, exhausted = 40, 0
+
+    def client():
+        nonlocal exhausted
+        for seq in range(n):
+            record = book.new_record(0, seq, sim.now)
+            try:
+                yield from ch.send(("m", record), 200)
+            except MessageLost:
+                exhausted += 1
+                continue
+            # The receiver stamps arrival; here the ack doubles as receipt.
+            record.t_arrived = record.t_received = sim.now
+
+    sim.run_process(client())
+    assert exhausted > 0  # p=0.6 with one retry must exhaust sometimes
+    assert ch.datagrams_lost == exhausted
+
+    stats = rtt_stats(book)
+    assert stats.sent == n
+    assert stats.count == n - exhausted
+    assert stats.loss_rate == pytest.approx(exhausted / n)
+    assert 0.0 < stats.loss_rate < 1.0
