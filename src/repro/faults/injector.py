@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 from repro.cluster.jvm import OutOfMemoryError
 from repro.faults.link import LinkFaults
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.telemetry.context import current as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.hydra import HydraCluster
@@ -80,7 +81,10 @@ class FaultScheduler:
             if lan.faults is None:
                 lan.faults = LinkFaults(self.sim)
             self.link_faults = lan.faults
+        tel = _telemetry()
         for spec in self.plan:
+            if tel is not None:
+                tel.fault_window(spec.kind, spec.at, spec.until, spec.target)
             self._arm(spec)
         return self
 

@@ -21,6 +21,7 @@ from repro.narada import Broker, BrokerNetwork, NaradaConfig
 from repro.powergrid import FleetConfig, NaradaFleet, NaradaReceiver
 from repro.powergrid.workload import MONITORING_TOPIC
 from repro.sim import Simulator
+from repro.telemetry.context import current as _telemetry
 from repro.transport import NioTransport, TcpTransport, UdpTransport
 
 BROKER_PORT = 5045
@@ -123,6 +124,10 @@ def narada_run(
     vmstats = {
         node_name: VmStat(sim, cluster.node(node_name)) for node_name in broker_nodes
     }
+    tel = _telemetry()
+    if tel is not None:
+        for node_name in broker_nodes:
+            tel.sample_node(sim, cluster.node(node_name), middleware="narada")
 
     creation_span = connections * scale.creation_interval_narada
     measure_since = sim.now + creation_span + scale.warmup[1] + 2.0
@@ -213,6 +218,13 @@ def narada_run(
 
     stats = rtt_stats(book, since=measure_since)
     rtts = book.rtts(since=measure_since)
+    if tel is not None:
+        tel.observe_run(
+            book,
+            middleware="narada",
+            measure_since=measure_since,
+            label=f"narada{'_dbn' if dbn else ''}[{connections}]",
+        )
     oom = fleet.stats.connections_refused > 0 or receivers_failed > 0
     return NaradaRunResult(
         connections=connections,

@@ -30,6 +30,7 @@ from repro.harness.scale import Scale
 from repro.plog import PlogConfig, PlogDeployment
 from repro.powergrid import FleetConfig, PlogFleet, PlogReceiver
 from repro.sim import Simulator
+from repro.telemetry.context import current as _telemetry
 from repro.transport import TcpTransport, UdpTransport
 
 CLIENT_NODES = ("hydra5", "hydra6", "hydra7", "hydra8")
@@ -120,6 +121,10 @@ def plog_run(
     vmstats = {
         node_name: VmStat(sim, cluster.node(node_name)) for node_name in broker_nodes
     }
+    tel = _telemetry()
+    if tel is not None:
+        for node_name in broker_nodes:
+            tel.sample_node(sim, cluster.node(node_name), middleware="plog")
 
     creation_interval = scale.creation_interval_narada * min(
         1.0, CREATION_CAP_CONNECTIONS / max(1, connections)
@@ -176,6 +181,13 @@ def plog_run(
     compliant, frac_late, loss = soft_realtime_compliance(
         book, deadline_s=deadline_s, since=measure_since
     )
+    if tel is not None:
+        tel.observe_run(
+            book,
+            middleware="plog",
+            measure_since=measure_since,
+            label=f"plog[{connections}x{len(broker_nodes)}]",
+        )
     refused = fleet.stats.connections_refused
     return PlogRunResult(
         connections=connections,
@@ -316,48 +328,15 @@ def fig15_threeway(
     seed: int = 1,
     connections: int = 400,
 ) -> ExperimentResult:
-    """Fig 15 extended: RTT = PRT + PT + SRT for all three middlewares."""
-    from repro.core import decompose
-    from repro.harness.narada_experiments import narada_run
-    from repro.harness.rgma_experiments import rgma_run
+    """Fig 15 extended: RTT = PRT + PT + SRT for all three middlewares.
 
-    result = ExperimentResult(
-        "fig15_threeway",
-        "RTT decomposition, three middlewares (cumulative ms per phase)",
-        "phase",
-        "millisecond",
+    Delegates to :func:`repro.harness.decomposition.fig15_threeway`, which
+    computes every decomposition from the telemetry span pipeline.  (Import
+    is deferred: :mod:`repro.harness.decomposition` imports this module for
+    :func:`plog_run`.)
+    """
+    from repro.harness import decomposition
+
+    return decomposition.fig15_threeway(
+        scale=scale, seed=seed, connections=connections
     )
-    phases_labels = (
-        "before_sending", "after_sending", "before_receiving", "after_receiving"
-    )
-    runs = (
-        ("RGMA", rgma_run(connections, scale=scale, seed=seed)),
-        ("Narada", narada_run(connections, scale=scale, seed=seed)),
-        ("Plog", plog_run(connections, scale=scale, seed=seed)),
-    )
-    rows = []
-    for label, run in runs:
-        phases = decompose(run.book, since=run.measure_since)
-        cumulative = [
-            0.0,
-            phases.prt_ms,
-            phases.prt_ms + phases.pt_ms,
-            phases.prt_ms + phases.pt_ms + phases.srt_ms,
-        ]
-        for x, value in enumerate(cumulative):
-            result.add_point(label, x, value)
-        rows.append(
-            [label, phases.prt_ms, phases.pt_ms, phases.srt_ms, phases.rtt_ms]
-        )
-    result.table = (
-        ["system", "PRT (ms)", "PT (ms)", "SRT (ms)", "RTT (ms)"], rows
-    )
-    result.meta["phases"] = phases_labels
-    result.note(
-        "plog PRT is the produce acknowledgement round trip, which includes "
-        "the producer's linger; the ack races the consumer's woken fetch, so "
-        "PT (ack-to-arrival) can be small or slightly negative — batching "
-        "buys fan-in scalability with tens of milliseconds of added latency, "
-        "far inside the §I ~5 s budget"
-    )
-    return result

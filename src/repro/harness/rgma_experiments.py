@@ -19,6 +19,7 @@ from repro.harness.scale import Scale
 from repro.powergrid import FleetConfig, RgmaFleet, RgmaReceiver
 from repro.rgma import RGMAConfig, RGMADeployment
 from repro.sim import Simulator
+from repro.telemetry.context import current as _telemetry
 from repro.transport.http import HttpClient
 
 #: Generator client nodes (paper: two publish, two receive — §III.F.1).
@@ -79,6 +80,10 @@ def rgma_run(
         server_nodes = ["hydra1"]
 
     vmstats = {name: VmStat(sim, cluster.node(name)) for name in server_nodes}
+    tel = _telemetry()
+    if tel is not None:
+        for name in server_nodes:
+            tel.sample_node(sim, cluster.node(name), middleware="rgma")
 
     # Secondary producer (Fig 10): one SP on the (first) producer site; the
     # subscribers then read exclusively through it.
@@ -156,6 +161,13 @@ def rgma_run(
         receiver.stop()
 
     stats = rtt_stats(book, since=measure_since)
+    if tel is not None:
+        tel.observe_run(
+            book,
+            middleware="rgma",
+            measure_since=measure_since,
+            label=f"rgma{'_dist' if distributed else ''}[{connections}]",
+        )
     return RgmaRunResult(
         connections=connections,
         book=book,

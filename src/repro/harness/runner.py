@@ -11,6 +11,7 @@ run in one process (e.g. a benchmark session).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from collections import OrderedDict
 from typing import Any, Callable, Optional
@@ -27,6 +28,7 @@ from repro.harness import (
     rgma_experiments,
 )
 from repro.harness.scale import Scale
+from repro.telemetry import context as tel_context
 
 #: Max cached sweeps.  There are ~7 sweep kinds, so one (scale, seed)
 #: combination fits entirely; older entries evict LRU-first beyond that.
@@ -35,7 +37,24 @@ SWEEP_CACHE_MAX = 8
 _sweep_cache: "OrderedDict[tuple, Any]" = OrderedDict()
 
 
+def _cache_context() -> tuple:
+    """Context folded into every sweep-cache key.
+
+    A sweep built under an active fault plan must never satisfy a later
+    fault-free lookup (or vice versa), and a sweep built outside a telemetry
+    session carries no spans — so the active fault plan and the identity of
+    the active telemetry session are part of the key.  ``run()`` maintains
+    the fault-plan half via :data:`_active_fault_plan`.
+    """
+    tel = tel_context.current()
+    return (_active_fault_plan, id(tel) if tel is not None else None)
+
+
+_active_fault_plan: Optional[str] = None
+
+
 def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
+    key = key + _cache_context()
     if key in _sweep_cache:
         _sweep_cache.move_to_end(key)
         return _sweep_cache[key]
@@ -244,7 +263,7 @@ def _plog_percentiles(scale: Scale, seed: int) -> ExperimentResult:
 
 
 def _fig15_threeway(scale: Scale, seed: int) -> ExperimentResult:
-    return plog_experiments.fig15_threeway(scale=scale, seed=seed)
+    return decomposition.fig15_threeway(scale=scale, seed=seed)
 
 
 def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
@@ -928,6 +947,7 @@ def run(
     ``fault_plan`` selects a named fault schedule for the chaos experiments
     and is an error for any other experiment id.
     """
+    global _active_fault_plan
     if isinstance(scale, str):
         scale = Scale.named(scale)
     scale = scale or Scale.from_env()
@@ -939,7 +959,12 @@ def run(
         ) from None
     if experiment_id in CHAOS_EXPERIMENTS:
         plan = fault_plan or _CHAOS_DEFAULT_PLAN[experiment_id]
-        return fn(scale, seed, fault_plan=plan)
+        previous = _active_fault_plan
+        _active_fault_plan = plan
+        try:
+            return fn(scale, seed, fault_plan=plan)
+        finally:
+            _active_fault_plan = previous
     if fault_plan is not None:
         raise ValueError(
             f"--fault-plan only applies to chaos experiments "
@@ -970,6 +995,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         choices=sorted(PLANS),
         help="fault schedule for the chaos experiments",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record telemetry spans for the run(s) and write a JSONL trace",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry metrics / resource-sampler JSON summary",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print(list_experiments())
@@ -979,13 +1016,36 @@ def main(argv: Optional[list[str]] = None) -> int:
     ids = list(args.experiment)
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
-    for experiment_id in ids:
-        plan = args.fault_plan if experiment_id in CHAOS_EXPERIMENTS else None
-        result = run(
-            experiment_id, scale=args.scale, seed=args.seed, fault_plan=plan
+
+    telemetry = None
+    ctx: Any = contextlib.nullcontext()
+    if args.trace or args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(label=" ".join(ids))
+        ctx = tel_context.session(telemetry)
+    with ctx:
+        for experiment_id in ids:
+            plan = args.fault_plan if experiment_id in CHAOS_EXPERIMENTS else None
+            result = run(
+                experiment_id, scale=args.scale, seed=args.seed, fault_plan=plan
+            )
+            print(result.render())
+            print()
+    if telemetry is not None:
+        from repro.telemetry.exporters import (
+            metrics_tables,
+            write_metrics_json,
+            write_trace_jsonl,
         )
-        print(result.render())
-        print()
+
+        print(metrics_tables(telemetry))
+        if args.trace:
+            n_spans = write_trace_jsonl(telemetry, args.trace)
+            print(f"trace: {n_spans} spans -> {args.trace}")
+        if args.metrics_out:
+            write_metrics_json(telemetry, args.metrics_out)
+            print(f"metrics: -> {args.metrics_out}")
     return 0
 
 

@@ -33,6 +33,7 @@ from repro.jms.destination import Destination, Queue, Topic
 from repro.jms.selector import Selector, parse_selector
 from repro.narada.config import NaradaConfig
 from repro.sim import Store
+from repro.telemetry.context import current as _telemetry
 from repro.transport.base import EOF, Channel, ChannelClosed, MessageLost
 from repro.transport.tcp import TcpTransport
 
@@ -214,6 +215,11 @@ class Broker:
         self, message: Any, origin_channel: Optional[Channel]
     ) -> Generator[Any, Any, None]:
         self.stats.messages_published += 1
+        tel = _telemetry()
+        if tel is not None:
+            record = getattr(message, "_record", None)
+            if record is not None:
+                tel.mark(record, "broker_in", self.sim.now, "narada", self.name)
         cfg = self.config
         nbytes = message.wire_size()
         try:
@@ -302,6 +308,13 @@ class Broker:
                 copy.wire_size() + cfg.frame_overhead_bytes,
             )
             self.stats.messages_delivered += 1
+            tel = _telemetry()
+            if tel is not None:
+                record = getattr(copy, "_record", None)
+                if record is not None:
+                    tel.mark(
+                        record, "broker_out", self.sim.now, "narada", self.name
+                    )
         except (MessageLost, ChannelClosed):
             self.stats.deliveries_dropped += 1
 
@@ -334,6 +347,15 @@ class Broker:
                 ("deliver_batch", sub.sub_id, batch), nbytes
             )
             self.stats.messages_delivered += len(batch)
+            tel = _telemetry()
+            if tel is not None:
+                for m in batch:
+                    record = getattr(m, "_record", None)
+                    if record is not None:
+                        tel.mark(
+                            record, "broker_out", self.sim.now, "narada",
+                            self.name,
+                        )
         except (MessageLost, ChannelClosed):
             self.stats.deliveries_dropped += len(batch)
 

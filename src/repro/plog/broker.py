@@ -42,6 +42,7 @@ from repro.cluster.jvm import Jvm, OutOfMemoryError
 from repro.plog.config import PlogConfig
 from repro.plog.log import PartitionLog
 from repro.sim import Store
+from repro.telemetry.context import current as _telemetry
 from repro.transport.base import EOF, Channel, ChannelClosed, MessageLost
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -220,6 +221,12 @@ class PlogBroker:
             self.jvm.free(result.evicted_bytes)
         self.stats.produce_batches += 1
         self.stats.records_appended += len(batch)
+        tel = _telemetry()
+        if tel is not None:
+            for _, value, _ in batch:
+                record = getattr(value, "_record", None)
+                if record is not None:
+                    tel.mark(record, "broker_in", self.sim.now, "plog", self.name)
         self._wake_fetchers(topic, partition)
         if acks:
             try:
@@ -319,6 +326,14 @@ class PlogBroker:
             yield from channel.send(
                 ("fetch_resp", corr, records, next_offset, log.end_offset), nbytes
             )
+            tel = _telemetry()
+            if tel is not None:
+                for r in stored:
+                    record = getattr(r.value, "_record", None)
+                    if record is not None:
+                        tel.mark(
+                            record, "broker_out", self.sim.now, "plog", self.name
+                        )
         except (MessageLost, ChannelClosed):
             pass
 

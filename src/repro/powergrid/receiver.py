@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 from repro.jms import AckMode
 from repro.jms.destination import Topic
 from repro.narada.client import narada_connection_factory
+from repro.telemetry.context import current as _telemetry
 from repro.transport.base import ChannelClosed, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,6 +83,11 @@ class NaradaReceiver:
         if record is not None:
             record.t_arrived = getattr(message, "_t_arrived_client", self.sim.now)
             record.t_received = self.sim.now
+            tel = _telemetry()
+            if tel is not None:
+                tel.mark(
+                    record, "delivered", self.sim.now, "narada", self.node_name
+                )
         if (
             self.ack_mode == AckMode.CLIENT_ACKNOWLEDGE
             and self.received % self.client_ack_batch == 0
@@ -142,6 +148,11 @@ class PlogReceiver:
             return
         record.t_arrived = t_arrived
         record.t_received = self.sim.now
+        tel = _telemetry()
+        if tel is not None:
+            tel.mark(
+                record, "delivered", self.sim.now, "plog", self.consumer.name
+            )
 
 
 class RgmaReceiver:
@@ -185,6 +196,9 @@ class RgmaReceiver:
         if record is not None:
             record.t_arrived = t.meta.get("t_poll_start", self.sim.now)
             record.t_received = self.sim.now
+            tel = _telemetry()
+            if tel is not None:
+                tel.mark(record, "delivered", self.sim.now, "rgma", "subscriber")
 
     def stop(self) -> None:
         self.client.stop()

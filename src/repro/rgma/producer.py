@@ -23,6 +23,7 @@ from repro.rgma.errors import RGMAException
 from repro.rgma.registry import Registry, RGMAConfig
 from repro.rgma.sql import Insert, RowView, parse_sql, render_insert
 from repro.rgma.storage import Tuple, TupleStore
+from repro.telemetry.context import current as _telemetry
 from repro.transport.base import ChannelClosed, MessageLost
 from repro.transport.http import HttpClient
 
@@ -157,6 +158,14 @@ class PrimaryProducerResource(ProducerResourceBase):
             raise RGMAException(f"producer {self.resource_id} is closed")
         meta = dict(meta or {})
         meta["t_stored"] = self.sim.now
+        tel = _telemetry()
+        if tel is not None:
+            record = meta.get("record")
+            if record is not None:
+                tel.mark(
+                    record, "broker_in", self.sim.now, "rgma",
+                    f"pp.{self.container.node.name}",
+                )
         return self.store.insert(row, meta)
 
 

@@ -53,6 +53,16 @@ class Simulator:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def pending_events(self) -> int:
+        """Heap occupancy — a read-only probe for telemetry samplers."""
+        return len(self._queue)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the tie-breaking sequence counter)."""
+        return self._seq
+
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
         """A fresh untriggered event."""

@@ -45,6 +45,14 @@ class Store:
     def is_full(self) -> bool:
         return len(self.items) >= self.capacity
 
+    def snapshot(self) -> dict[str, float]:
+        """Read-only occupancy probe (telemetry samplers; never mutates)."""
+        return {
+            "depth": float(len(self.items)),
+            "getters_waiting": float(len(self._getters)),
+            "putters_waiting": float(len(self._putters)),
+        }
+
     def put(self, item: Any) -> Event:
         """Event that fires once ``item`` has been accepted."""
         ev = Event(self.sim)
@@ -180,6 +188,14 @@ class Resource:
     def available(self) -> int:
         return self.capacity - self.in_use
 
+    def snapshot(self) -> dict[str, float]:
+        """Read-only utilisation probe (telemetry samplers; never mutates)."""
+        return {
+            "in_use": float(self.in_use),
+            "capacity": float(self.capacity),
+            "waiters": float(len(self._waiters)),
+        }
+
     def acquire(self) -> Event:
         ev = Event(self.sim)
         if self.in_use < self.capacity:
@@ -222,6 +238,10 @@ class Container:
         self.capacity = capacity
         self.level = init
         self._getters: deque[tuple[Event, float]] = deque()
+
+    def snapshot(self) -> dict[str, float]:
+        """Read-only level probe (telemetry samplers; never mutates)."""
+        return {"level": self.level, "getters_waiting": float(len(self._getters))}
 
     def put(self, amount: float) -> None:
         if amount < 0:
