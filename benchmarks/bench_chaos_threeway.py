@@ -45,9 +45,47 @@ def test_chaos_broker_failover(benchmark, scale, save_result):
     rows = result.table[1]
     assert [row[0] for row in rows] == [
         "one-shot (no recovery)", "retry", "retry + failover",
+        "replicated (RF=2, acks=all, one-shot)",
     ]
     losses = [float(row[3].rstrip("%")) / 100.0 for row in rows]
     # Each added recovery mechanism strictly reduces loss; failover ends
     # below the §I requirement because new records route around the corpse.
     assert losses[0] > losses[1] >= losses[2]
     assert losses[2] < 0.005
+    # The replicated leg's durability claim: elections happened and not a
+    # single *acknowledged* record was lost, with no producer retry at all.
+    replicated = result.meta["replicated_run"]
+    assert replicated.elections > 0
+    assert replicated.acked > 0
+    assert replicated.acked_lost == 0
+
+
+def test_chaos_replication(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "chaos_replication", scale, save_result)
+    runs = result.meta["runs"]
+    acked_all = runs["RF=2, acks=all (one-shot)"]
+    # The headline contract: acks=all + a surviving in-sync replica means
+    # zero acknowledged records lost across the leader elections.
+    assert acked_all.elections > 0
+    assert acked_all.acked_lost == 0
+    assert acked_all.isr_shrinks > 0 and acked_all.isr_expands > 0
+    # RF=3 + acks=all + retry drives *total* loss to ~zero as well: the
+    # unacknowledged window is retried against the re-elected leader.
+    full = runs["RF=3, acks=all + retry"]
+    assert full.acked_lost == 0
+    assert full.loss_rate < 0.005
+
+
+def test_chaos_adaptive_backoff(benchmark, scale, save_result):
+    result = run_experiment(benchmark, "chaos_adaptive_backoff", scale, save_result)
+    runs = result.meta["runs"]
+    fixed = runs["fixed backoff"]
+    adaptive = runs["adaptive backoff (SRTT/RTTVAR)"]
+    # The spike crosses the fixed timeout, so the fixed policy retries
+    # (and duplicates) throughout the window; the adaptive RTO climbs
+    # above the new RTT after a timeout or two and the storm stops.
+    assert fixed.producer_retries > 0
+    assert adaptive.producer_retries < fixed.producer_retries
+    # Neither policy loses anything — the cost is duplicates + latency.
+    assert fixed.loss_rate == 0.0
+    assert adaptive.loss_rate == 0.0

@@ -272,6 +272,17 @@ def broker_outage(measure_since: float, duration: float) -> FaultPlan:
     )
 
 
+def coordinator_outage(measure_since: float, duration: float) -> FaultPlan:
+    """Crash broker 0 — the one hosting the group coordinator (and, when
+    replicated, the ``__offsets`` partition leader) — a quarter in; restart
+    it after 0.35·duration.  Exercises coordinator re-election."""
+    return FaultPlan().broker_crash(
+        at=measure_since + 0.25 * duration,
+        broker="broker:0",
+        restart_after=0.35 * duration,
+    )
+
+
 def mixed(measure_since: float, duration: float) -> FaultPlan:
     """Loss burst plus a latency spike, overlapping — a genuinely bad day."""
     plan = loss_burst(measure_since, duration)
@@ -290,6 +301,7 @@ PLANS: dict[str, PlanTemplate] = {
     "latency_spike": latency_spike,
     "partition": partition_window,
     "broker_outage": broker_outage,
+    "coordinator_outage": coordinator_outage,
     "mixed": mixed,
 }
 

@@ -35,6 +35,12 @@ class RetryPolicy:
     max_backoff: float = 5.0
     #: Fractional jitter; the delay is scaled by ``1 + jitter * U[0,1)``.
     jitter: float = 0.1
+    #: Derive the timeout and the backoff base from observed ack RTTs
+    #: (Jacobson/Karels SRTT/RTTVAR, like TCP's RTO) instead of the static
+    #: ``backoff``.  Clients feed an :class:`RttEstimator` and pass its
+    #: ``rto`` into :meth:`delay`; the static fields become the fallback
+    #: before the first sample and the ``max_backoff`` ceiling still holds.
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -53,10 +59,20 @@ class RetryPolicy:
         attempt: int,
         sim: Optional["Simulator"] = None,
         stream: str = "retry",
+        rto: Optional[float] = None,
     ) -> float:
-        """Backoff before re-attempt number ``attempt`` (1-based)."""
+        """Backoff before re-attempt number ``attempt`` (1-based).
+
+        With ``adaptive=True`` and an ``rto`` from an :class:`RttEstimator`,
+        the first backoff is the RTO itself (the connection's own estimate of
+        "how long until I should have heard back") and later attempts grow
+        from there; the static ``backoff`` is only the pre-sample fallback.
+        """
+        first = self.backoff
+        if self.adaptive and rto is not None:
+            first = rto
         base = min(
-            self.backoff * self.multiplier ** max(0, attempt - 1),
+            first * self.multiplier ** max(0, attempt - 1),
             self.max_backoff,
         )
         if sim is not None and self.jitter > 0.0:
@@ -67,6 +83,80 @@ class RetryPolicy:
         """Worst-case un-jittered time spent backing off across all retries
         (useful for sizing drain windows in experiments)."""
         return sum(self.delay(k) for k in range(1, self.retries + 1))
+
+
+class RttEstimator:
+    """Jacobson/Karels round-trip estimator (the TCP RTO algorithm).
+
+    ``srtt`` is an exponentially-weighted mean of observed RTTs
+    (gain ``alpha``), ``rttvar`` an EWMA of the deviation (gain ``beta``),
+    and the retransmission timeout is ``srtt + k * rttvar`` clamped to
+    ``[min_rto, max_rto]``.  Callers must apply Karn's rule themselves:
+    never feed the RTT of a retransmitted exchange (its ack is ambiguous).
+
+    Pure arithmetic — no simulated time, no RNG — so it can live inside any
+    client without perturbing the schedule.
+    """
+
+    __slots__ = (
+        "srtt", "rttvar", "samples", "_initial", "min_rto", "max_rto",
+        "alpha", "beta", "k", "_backoff",
+    )
+
+    def __init__(
+        self,
+        initial_rto: float = 1.0,
+        min_rto: float = 0.05,
+        max_rto: float = 60.0,
+        alpha: float = 1.0 / 8.0,
+        beta: float = 1.0 / 4.0,
+        k: float = 4.0,
+    ):
+        if initial_rto <= 0 or min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("RTO bounds must be positive with max_rto >= min_rto")
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.samples = 0
+        self._initial = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        #: RFC 6298 §5.5 exponential backoff multiplier, doubled on each
+        #: timeout and reset by the next valid sample.  This is what lets
+        #: the RTO climb out of a latency *step*: Karn's rule starves the
+        #: estimator of samples while every first attempt is timing out,
+        #: so without the backoff the RTO would stay pinned below the new
+        #: RTT forever.
+        self._backoff = 1.0
+
+    def observe(self, rtt: float) -> None:
+        """Fold one round-trip sample into the estimate."""
+        if rtt < 0:
+            raise ValueError("rtt must be >= 0")
+        if self.srtt is None:
+            # RFC 6298 initialisation: first sample seeds both estimators.
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.rttvar = (1.0 - self.beta) * self.rttvar + self.beta * abs(err)
+            self.srtt = self.srtt + self.alpha * err
+        self.samples += 1
+        self._backoff = 1.0
+
+    def backoff(self) -> None:
+        """A timeout fired: double the RTO until a fresh sample arrives."""
+        self._backoff = min(self._backoff * 2.0, 64.0)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout (``initial_rto`` before any sample)."""
+        if self.srtt is None:
+            return min(self._initial * self._backoff, self.max_rto)
+        base = max(self.srtt + self.k * self.rttvar, self.min_rto)
+        return min(base * self._backoff, self.max_rto)
 
 
 #: Shorthand for the default no-recovery policy.

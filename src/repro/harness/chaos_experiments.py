@@ -24,7 +24,7 @@ from repro.core import ExperimentResult, percentile_curve
 from repro.core.metrics import soft_realtime_compliance
 from repro.faults import RetryPolicy, named_plan
 from repro.harness.scale import Scale
-from repro.plog import PlogConfig
+from repro.plog import ACKS_ALL, PlogConfig
 
 #: Shared load for the chaos legs: big enough that a fault window covers
 #: hundreds of in-flight messages, small enough for the smoke preset.
@@ -160,10 +160,13 @@ def chaos_broker_failover(
 ) -> ExperimentResult:
     """Crash-and-restart one of four plog brokers; compare recovery modes.
 
-    Three legs, same outage: legacy one-shot clients, retry-with-backoff
-    against the dead broker, and retry plus failover (reroute to partitions
-    owned by surviving brokers).  The RTT tail doubles as the recovery
-    clock: records held up by the outage surface at p100.
+    Four legs, same outage: legacy one-shot clients, retry-with-backoff
+    against the dead broker, retry plus failover (reroute to partitions
+    owned by surviving brokers), and replication (RF=2, ``acks=all``) with
+    *no* producer retry at all — the leader election makes the outage
+    invisible to durability: zero acknowledged records lost.  The RTT tail
+    doubles as the recovery clock: records held up by the outage surface
+    at p100.
     """
     from repro.harness.plog_experiments import plog_run
 
@@ -185,15 +188,24 @@ def chaos_broker_failover(
                 failover=True,
             ),
         ),
+        (
+            "replicated (RF=2, acks=all, one-shot)",
+            base.with_(
+                replication_factor=2,
+                acks=ACKS_ALL,
+                consumer_recovery=True,
+            ),
+        ),
     ]
     result = ExperimentResult(
         "chaos_broker_failover",
-        "Plog broker crash/restart: one-shot vs retry vs retry+failover",
+        "Plog broker crash/restart: one-shot vs retry vs failover vs RF=2",
         "percentile",
         "millisecond",
     )
     rows = []
     last_run = None
+    replicated_run = None
     for label, config in configs:
         run = plog_run(
             connections,
@@ -204,27 +216,223 @@ def chaos_broker_failover(
             fault_plan=template,
         )
         last_run = run
+        if config.replication_factor > 1:
+            replicated_run = run
         p95, p99, p100 = _tail(run.rtts)
         rows.append([
             label, run.sent, run.received, f"{run.loss_rate:.4%}",
-            p100, run.producer_retries, run.producer_reconnects,
-            run.consumer_recoveries, run.duplicates,
+            run.acked_lost, run.elections, p100, run.producer_retries,
+            run.producer_reconnects, run.consumer_recoveries, run.duplicates,
         ])
         for pct, ms in percentile_curve(run.rtts):
             result.add_point(label, pct, ms)
     result.table = (
-        ["mode", "sent", "received", "loss rate", "p100 (ms)", "retries",
-         "reconnects", "consumer recoveries", "duplicates"],
+        ["mode", "sent", "received", "loss rate", "acked lost", "elections",
+         "p100 (ms)", "retries", "reconnects", "consumer recoveries",
+         "duplicates"],
         rows,
     )
     if last_run is not None:
         for line in last_run.fault_log:
             result.note(f"fault: {line}")
+    if replicated_run is not None:
+        result.note(
+            f"replicated leg: {replicated_run.elections} leader elections, "
+            f"{replicated_run.coordinator_elections} coordinator elections, "
+            f"{replicated_run.isr_shrinks} ISR shrinks / "
+            f"{replicated_run.isr_expands} expands, "
+            f"{replicated_run.acked_lost} acknowledged records lost "
+            f"(of {replicated_run.acked} acked)"
+        )
     result.note(
         "partition logs are durable, so records appended before the crash "
         "are served after restart; failover reroutes *new* records to "
         "surviving brokers instead of burning the retry budget against a "
-        "dead one — loss should fall at each step left to right"
+        "dead one; with RF=2 and acks=all a surviving in-sync replica is "
+        "elected leader, so no acknowledged record is lost even without "
+        "producer retry"
     )
     result.meta["fault_plan"] = fault_plan
+    result.meta["replicated_run"] = replicated_run
+    return result
+
+
+def chaos_replication(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    fault_plan: str = "broker_outage",
+    connections: int = CHAOS_CONNECTIONS,
+) -> ExperimentResult:
+    """Durability ladder under a broker crash: RF and acks swept upward.
+
+    Four legs, same outage, all one-shot producers except the last:
+    unreplicated baseline (records in the dead broker's partitions are
+    unreadable until restart), RF=2 with ``acks=1`` (leader election keeps
+    partitions *available* but the ack is a lie — records acked by the old
+    leader and not yet replicated can vanish), RF=2 with ``acks=all`` (the
+    headline property: zero acknowledged records lost), and RF=3 with
+    ``acks=all`` plus producer retry (total loss also driven to ~zero —
+    the unacked window is retried against the new leader).
+    """
+    from repro.harness.plog_experiments import plog_run
+
+    scale = scale or Scale.from_env()
+    template = named_plan(fault_plan)
+    base = PlogConfig(consumer_recovery=True)
+
+    configs = [
+        ("RF=1 (one-shot)", base),
+        (
+            "RF=2, acks=1 (one-shot)",
+            base.with_(replication_factor=2),
+        ),
+        (
+            "RF=2, acks=all (one-shot)",
+            base.with_(replication_factor=2, acks=ACKS_ALL),
+        ),
+        (
+            "RF=3, acks=all + retry",
+            base.with_(
+                replication_factor=3,
+                acks=ACKS_ALL,
+                min_insync_replicas=2,
+                producer_retry=CHAOS_RETRY,
+            ),
+        ),
+    ]
+    result = ExperimentResult(
+        "chaos_replication",
+        "Plog replication ladder under a broker crash: RF x acks",
+        "percentile",
+        "millisecond",
+    )
+    rows = []
+    runs: dict[str, Any] = {}
+    for label, config in configs:
+        run = plog_run(
+            connections,
+            n_brokers=4,
+            scale=scale,
+            seed=seed,
+            config=config,
+            fault_plan=template,
+        )
+        runs[label] = run
+        p95, p99, p100 = _tail(run.rtts)
+        rows.append([
+            label, run.sent, run.acked, run.received,
+            f"{run.loss_rate:.4%}", run.acked_lost, run.elections,
+            run.isr_shrinks, run.isr_expands, p100, run.producer_retries,
+        ])
+        for pct, ms in percentile_curve(run.rtts):
+            result.add_point(label, pct, ms)
+    result.table = (
+        ["mode", "sent", "acked", "received", "loss rate", "acked lost",
+         "elections", "ISR shrinks", "ISR expands", "p100 (ms)", "retries"],
+        rows,
+    )
+    sample = next(iter(runs.values()))
+    for line in sample.fault_log:
+        result.note(f"fault: {line}")
+    acked_all = runs["RF=2, acks=all (one-shot)"]
+    result.note(
+        f"acks=all leg: {acked_all.acked_lost} of {acked_all.acked} "
+        f"acknowledged records lost across {acked_all.elections} leader "
+        "elections — the ack is only sent once every in-sync replica holds "
+        "the record, so a single broker death cannot unsay it"
+    )
+    result.note(
+        "acks=1 acks at the leader alone: records in the replication-lag "
+        "window are acknowledged, then die with the leader — availability "
+        "without the durability half of the contract"
+    )
+    result.meta["fault_plan"] = fault_plan
+    result.meta["runs"] = runs
+    return result
+
+
+def chaos_adaptive_backoff(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    fault_plan: str = "latency_spike",
+    connections: int = CHAOS_CONNECTIONS,
+) -> ExperimentResult:
+    """Fixed vs RTT-adaptive retry backoff under a latency spike.
+
+    Both legs run the same retry budget with a deliberately tight
+    ``produce_ack_timeout`` (60 ms — an SLA-tuned producer on a quiet
+    LAN where acks normally take single-digit milliseconds).  The spike
+    pushes ack round trips past that clock: the fixed policy then times
+    out *every* attempt — including the retries — so each batch burns its
+    whole retry budget and appends duplicates for the full fault window.
+    The adaptive policy estimates the ack RTT (TCP-style SRTT/RTTVAR with
+    RFC 6298 timeout backoff), so after a timeout or two its RTO climbs
+    above the new RTT and the spurious retries stop.
+    """
+    from repro.harness.plog_experiments import plog_run
+
+    scale = scale or Scale.from_env()
+    template = named_plan(fault_plan)
+    base = PlogConfig(consumer_recovery=True, produce_ack_timeout=0.06)
+
+    configs = [
+        (
+            "fixed backoff",
+            base.with_(producer_retry=CHAOS_RETRY),
+        ),
+        (
+            "adaptive backoff (SRTT/RTTVAR)",
+            base.with_(
+                producer_retry=RetryPolicy(
+                    retries=CHAOS_RETRY.retries,
+                    backoff=CHAOS_RETRY.backoff,
+                    adaptive=True,
+                )
+            ),
+        ),
+    ]
+    result = ExperimentResult(
+        "chaos_adaptive_backoff",
+        "Plog producer retry: fixed vs RTT-adaptive backoff under latency",
+        "percentile",
+        "millisecond",
+    )
+    rows = []
+    runs = {}
+    for label, config in configs:
+        run = plog_run(
+            connections,
+            transport_kind="udp",
+            scale=scale,
+            seed=seed,
+            config=config,
+            fault_plan=template,
+        )
+        runs[label] = run
+        p95, p99, p100 = _tail(run.rtts)
+        rows.append([
+            label, run.sent, run.received, f"{run.loss_rate:.4%}",
+            p95, p99, p100, run.producer_retries, run.duplicates,
+        ])
+        for pct, ms in percentile_curve(run.rtts):
+            result.add_point(label, pct, ms)
+    result.table = (
+        ["policy", "sent", "received", "loss rate", "p95 (ms)", "p99 (ms)",
+         "p100 (ms)", "retries", "duplicates"],
+        rows,
+    )
+    sample = next(iter(runs.values()))
+    for line in sample.fault_log:
+        result.note(f"fault: {line}")
+    fixed = runs["fixed backoff"]
+    adaptive = runs["adaptive backoff (SRTT/RTTVAR)"]
+    result.note(
+        f"retries under the spike: fixed {fixed.producer_retries} "
+        f"({fixed.duplicates} duplicates) vs adaptive "
+        f"{adaptive.producer_retries} ({adaptive.duplicates} duplicates) — "
+        "the RTO stretches with the observed ack RTT instead of firing on "
+        "a constant clock"
+    )
+    result.meta["fault_plan"] = fault_plan
+    result.meta["runs"] = runs
     return result

@@ -71,6 +71,23 @@ class PlogRunResult:
     producer_retries: int = 0
     producer_reconnects: int = 0
     consumer_recoveries: int = 0
+    #: Durability accounting over the measurement window: records whose
+    #: produce *was acknowledged* (``t_after_send`` stamped by the ack
+    #: machinery), and how many of those never reached a consumer.  With
+    #: ``acks=all`` and a surviving in-sync replica, ``acked_lost`` must be
+    #: zero even across a leader crash — the headline replication claim.
+    acked: int = 0
+    acked_lost: int = 0
+    #: Replication / control-plane counters (zero when unreplicated).
+    elections: int = 0
+    coordinator_elections: int = 0
+    isr_shrinks: int = 0
+    isr_expands: int = 0
+    records_replicated: int = 0
+    coordinator_rejoins: int = 0
+    #: ``(time, topic, partition, new_leader)`` per leader election — used
+    #: by the determinism tests (same seed => identical log).
+    election_log: list = field(default_factory=list)
 
 
 def _plog_transport(kind: str, sim: Simulator, lan: Any) -> Any:
@@ -189,6 +206,14 @@ def plog_run(
             label=f"plog[{connections}x{len(broker_nodes)}]",
         )
     refused = fleet.stats.connections_refused
+    window = [r for r in book.records if r.t_before_send >= measure_since]
+    acked = sum(1 for r in window if r.t_after_send is not None)
+    acked_lost = sum(
+        1
+        for r in window
+        if r.t_after_send is not None and r.t_received is None
+    )
+    controller = deployment.controller
     return PlogRunResult(
         connections=connections,
         n_brokers=len(broker_nodes),
@@ -230,6 +255,21 @@ def plog_run(
             + r.consumer.fetch_timeouts
             + r.consumer.reconnects
             for r in receivers
+        ),
+        acked=acked,
+        acked_lost=acked_lost,
+        elections=controller.elections if controller is not None else 0,
+        coordinator_elections=(
+            controller.coordinator_elections if controller is not None else 0
+        ),
+        isr_shrinks=deployment.total_isr_shrinks(),
+        isr_expands=deployment.total_isr_expands(),
+        records_replicated=deployment.total_records_replicated(),
+        coordinator_rejoins=sum(
+            r.consumer.coordinator_rejoins for r in receivers
+        ),
+        election_log=(
+            list(controller.election_log) if controller is not None else []
         ),
     )
 

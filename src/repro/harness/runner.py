@@ -320,12 +320,19 @@ def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
 
 #: Experiments that accept a ``fault_plan`` keyword (the ``--fault-plan``
 #: CLI flag is only forwarded to these).
-CHAOS_EXPERIMENTS = ("chaos_threeway", "chaos_broker_failover")
+CHAOS_EXPERIMENTS = (
+    "chaos_threeway",
+    "chaos_broker_failover",
+    "chaos_replication",
+    "chaos_adaptive_backoff",
+)
 
 #: Default plan per chaos experiment when ``--fault-plan`` is not given.
 _CHAOS_DEFAULT_PLAN = {
     "chaos_threeway": "loss_burst",
     "chaos_broker_failover": "broker_outage",
+    "chaos_replication": "broker_outage",
+    "chaos_adaptive_backoff": "latency_spike",
 }
 
 
@@ -341,6 +348,22 @@ def _chaos_broker_failover(
     scale: Scale, seed: int, fault_plan: str = "broker_outage"
 ) -> ExperimentResult:
     return chaos_experiments.chaos_broker_failover(
+        scale=scale, seed=seed, fault_plan=fault_plan
+    )
+
+
+def _chaos_replication(
+    scale: Scale, seed: int, fault_plan: str = "broker_outage"
+) -> ExperimentResult:
+    return chaos_experiments.chaos_replication(
+        scale=scale, seed=seed, fault_plan=fault_plan
+    )
+
+
+def _chaos_adaptive_backoff(
+    scale: Scale, seed: int, fault_plan: str = "latency_spike"
+) -> ExperimentResult:
+    return chaos_experiments.chaos_adaptive_backoff(
         scale=scale, seed=seed, fault_plan=fault_plan
     )
 
@@ -880,6 +903,8 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "fig15_threeway": _fig15_threeway,
     "chaos_threeway": _chaos_threeway,
     "chaos_broker_failover": _chaos_broker_failover,
+    "chaos_replication": _chaos_replication,
+    "chaos_adaptive_backoff": _chaos_adaptive_backoff,
     "ablation_dbn_routing": _ablation_dbn_routing,
     "ablation_udp_ack": _ablation_udp_ack,
     "ablation_rgma_mediator": _ablation_rgma_mediator,
@@ -915,7 +940,9 @@ DESCRIPTIONS: dict[str, str] = {
     "plog_percentiles": "Partitioned log: percentile of RTT per connection count",
     "fig15_threeway": "RTT decomposition for R-GMA, Narada and the plog",
     "chaos_threeway": "All three middlewares under one deterministic fault plan",
-    "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover",
+    "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover vs RF=2",
+    "chaos_replication": "Plog durability ladder under a broker crash: RF x acks",
+    "chaos_adaptive_backoff": "Plog retry: fixed vs RTT-adaptive backoff",
     "ablation_dbn_routing": "DBN broadcast flaw vs subscription-aware routing",
     "ablation_udp_ack": "UDP with and without the JMS ack protocol",
     "ablation_rgma_mediator": "R-GMA process time vs consumer per-tuple cost",

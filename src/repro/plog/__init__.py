@@ -22,15 +22,26 @@ commit log.
 * consumer groups get partitions range-assigned by a coordinator and are
   rebalanced when membership changes (:mod:`repro.plog.group`);
 * a deployment spreads *partitions* (not full traffic, unlike the flawed
-  Narada DBN) across Hydra nodes (:mod:`repro.plog.deployment`).
+  Narada DBN) across Hydra nodes (:mod:`repro.plog.deployment`);
+* with ``replication_factor > 1``, partitions get leader/follower replicas
+  with ISR tracking and high-watermark semantics, a controller elects new
+  leaders (and re-elects the group coordinator) on broker crash, and
+  ``acks=all`` producers lose no acknowledged record to a single broker
+  death (:mod:`repro.plog.replication`).
 
 Everything runs on the existing deterministic substrate (``repro.sim``,
 ``repro.cluster``, ``repro.transport``), so runs are bit-reproducible.
 """
 
-from repro.plog.config import PlogConfig
+from repro.plog.config import ACKS_ALL, OFFSETS_TOPIC, PlogConfig
 from repro.plog.partitioner import partition_for, stable_hash
 from repro.plog.log import AppendResult, PartitionLog
+from repro.plog.replication import (
+    ClusterController,
+    PartitionState,
+    ReplicaFetcher,
+    ReplicaProgress,
+)
 from repro.plog.broker import PlogBroker
 from repro.plog.group import GroupCoordinator
 from repro.plog.producer import PlogProducer
@@ -38,14 +49,20 @@ from repro.plog.consumer import PlogConsumer
 from repro.plog.deployment import PlogDeployment
 
 __all__ = [
+    "ACKS_ALL",
     "AppendResult",
+    "ClusterController",
     "GroupCoordinator",
+    "OFFSETS_TOPIC",
     "PartitionLog",
+    "PartitionState",
     "PlogBroker",
     "PlogConfig",
     "PlogConsumer",
     "PlogDeployment",
     "PlogProducer",
+    "ReplicaFetcher",
+    "ReplicaProgress",
     "partition_for",
     "stable_hash",
 ]

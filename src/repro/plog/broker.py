@@ -31,6 +31,32 @@ Wire protocol (tuples over a transport channel):
 
 ``batch`` is ``[(key, value, nbytes), ...]``; fetch-response ``records``
 is ``[(offset, value), ...]``.
+
+Replication (``replication_factor > 1``) adds three frames:
+
+==========================================================  ==============
+``("rfetch", corr, topic, part, offset, max_n,``
+``  max_wait, follower)``                                   follower → leader
+``("rfetch_resp", corr, records4, leader_end, hwm,``
+``  epoch)``                                                leader → follower
+``("produce_err", corr, reason)``                           broker → client
+==========================================================  ==============
+
+``records4`` is ``[(offset, key, value, nbytes), ...]`` — a replica fetch
+ships full records so the follower's log is byte-identical.  A replica
+fetch at offset ``N`` acknowledges everything below ``N``; the leader's
+high watermark is the ``min`` over the ISR's acknowledged ends, consumers
+only read below it, and ``acks=-1`` produce responses park until it passes
+the batch.  ``produce_err`` reasons: ``not_leader`` (an election moved the
+partition — reconnect via the deployment's leader map) and
+``not_enough_replicas`` (ISR below ``min_insync_replicas``).
+
+Every response is handed to a transient sender process instead of being
+sent inline from the I/O thread (``_send_async``).  This mirrors Kafka's
+network/request-handler thread split and matters under loss: with an
+acked datagram transport, an inline response send head-of-line-blocks an
+I/O thread for up to the full retransmission budget, and four blocked
+threads are a collapsed broker.
 """
 
 from __future__ import annotations
@@ -39,8 +65,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.cluster.jvm import Jvm, OutOfMemoryError
-from repro.plog.config import PlogConfig
+from repro.plog.config import ACKS_ALL, PlogConfig
 from repro.plog.log import PartitionLog
+from repro.plog.replication import PartitionState, ReplicaProgress
 from repro.sim import Store
 from repro.telemetry.context import current as _telemetry
 from repro.transport.base import EOF, Channel, ChannelClosed, MessageLost
@@ -64,6 +91,15 @@ class PlogBrokerStats:
     empty_fetches: int = 0
     records_fetched: int = 0
     long_polls_parked: int = 0
+    #: Produce requests bounced with ``produce_err`` (not the leader, or
+    #: ISR below ``min_insync_replicas``).
+    produce_rejects: int = 0
+    #: Replica-fetch requests served as leader.
+    replica_fetches: int = 0
+    #: Records appended via replica fetch (this broker as follower).
+    records_replicated: int = 0
+    isr_shrinks: int = 0
+    isr_expands: int = 0
 
 
 @dataclass
@@ -77,6 +113,9 @@ class _FetchWaiter:
     offset: int
     max_records: int
     active: bool = True
+    #: Follower name when this is a parked replica fetch (woken by appends,
+    #: not by high-watermark advances).
+    replica: Optional[str] = None
 
 
 class PlogBroker:
@@ -103,19 +142,32 @@ class PlogBroker:
         )
         self.stats = PlogBrokerStats()
         self.logs: dict[tuple[str, int], PartitionLog] = {}
+        #: Replication state per hosted partition (leader or follower).
+        self.states: dict[tuple[str, int], PartitionState] = {}
         self._waiters: dict[tuple[str, int], list[_FetchWaiter]] = {}
         self._requests: Store = Store(sim)
         self._io_started = False
+        self._isr_scan_started = False
         self.coordinator: Optional["GroupCoordinator"] = None
+        #: Controller callback fired on every ISR change of a led partition
+        #: (the stand-in for a metadata-store write).
+        self.isr_listener: Optional[Any] = None
         self.alive = True
         self.open_connections = 0
         #: Open client channels, tracked so a crash can sever them.
         self._client_channels: list[Channel] = []
         self.crashes = 0
         self.restarts = 0
+        self.crashed_at: Optional[float] = None
 
     # ------------------------------------------------------------ partitions
-    def create_partition(self, topic: str, partition: int) -> PartitionLog:
+    def create_partition(
+        self,
+        topic: str,
+        partition: int,
+        replicas: Optional[tuple[str, ...]] = None,
+        leader: Optional[str] = None,
+    ) -> PartitionLog:
         key = (topic, partition)
         if key in self.logs:
             raise ValueError(f"partition {key} already exists on {self.name}")
@@ -125,6 +177,16 @@ class PlogBroker:
             record_overhead_bytes=self.config.per_record_overhead_bytes,
         )
         self.logs[key] = log
+        replicas = replicas if replicas is not None else (self.name,)
+        leader = leader if leader is not None else replicas[0]
+        state = PartitionState(topic, partition, replicas, leader)
+        if leader == self.name:
+            # Kafka starts with the full replica set in sync (everything is
+            # empty), so acks=all is meaningful from the first append.
+            for follower in replicas:
+                if follower != self.name:
+                    state.progress[follower] = ReplicaProgress(in_isr=True)
+        self.states[key] = state
         return log
 
     # --------------------------------------------------------------- serving
@@ -134,6 +196,11 @@ class PlogBroker:
             self._io_started = True
             for i in range(self.config.io_threads):
                 self.jvm.spawn_thread(self._io_loop(), name=f"{self.name}.io{i}")
+        if not self._isr_scan_started and any(
+            state.replicated for state in self.states.values()
+        ):
+            self._isr_scan_started = True
+            self.sim.process(self._isr_scan(), name=f"{self.name}.isr-scan")
         transport.listen(self.node, port, self._accept)
 
     def _accept(self, channel: Channel) -> None:
@@ -189,6 +256,12 @@ class PlogBroker:
             yield from self._on_fetch(
                 channel, corr, topic, partition, offset, max_records, max_wait
             )
+        elif kind == "rfetch":
+            _, corr, topic, partition, offset, max_records, max_wait, follower = frame
+            yield from self._on_replica_fetch(
+                channel, corr, topic, partition, offset, max_records, max_wait,
+                follower,
+            )
         elif kind in ("join", "leave", "commit"):
             if self.coordinator is None:
                 raise ValueError(f"broker {self.name} is not the coordinator")
@@ -207,7 +280,33 @@ class PlogBroker:
         batch: list,
         acks: int,
     ) -> Generator[Any, Any, None]:
-        log = self.logs[(topic, partition)]
+        key = (topic, partition)
+        log = self.logs[key]
+        state = self.states.get(key)
+        if state is not None and state.leader != self.name:
+            # An election moved leadership: bounce the request so the
+            # producer reconnects via the deployment's refreshed leader map.
+            self.stats.produce_rejects += 1
+            yield from self.node.execute(self.config.request_cpu)
+            if acks:
+                self._send_async(
+                    channel, ("produce_err", corr, "not_leader"),
+                    self.config.control_bytes,
+                )
+            return
+        if (
+            acks == ACKS_ALL
+            and state is not None
+            and state.replicated
+            and state.isr_size < self.config.min_insync_replicas
+        ):
+            self.stats.produce_rejects += 1
+            yield from self.node.execute(self.config.request_cpu)
+            self._send_async(
+                channel, ("produce_err", corr, "not_enough_replicas"),
+                self.config.control_bytes,
+            )
+            return
         payload_bytes = sum(nbytes for _, _, nbytes in batch)
         stored_bytes = payload_bytes + self.config.per_record_overhead_bytes * len(batch)
         yield from self.node.execute(self.config.append_cpu(len(batch), payload_bytes))
@@ -227,15 +326,28 @@ class PlogBroker:
                 record = getattr(value, "_record", None)
                 if record is not None:
                     tel.mark(record, "broker_in", self.sim.now, "plog", self.name)
-        self._wake_fetchers(topic, partition)
-        if acks:
-            try:
-                yield from channel.send(
-                    ("produce_ack", corr, result.base_offset),
-                    self.config.control_bytes,
-                )
-            except (MessageLost, ChannelClosed):
-                pass
+        if state is not None and state.replicated:
+            # New data for parked replica fetches (they wake on the end
+            # offset, consumers only on the high watermark).
+            self._wake_fetchers(topic, partition, replica=True)
+        self._advance_hwm(key)
+        if not acks:
+            return
+        required = result.base_offset + len(batch)
+        if (
+            acks == ACKS_ALL
+            and state is not None
+            and state.replicated
+            and state.hwm < required
+        ):
+            # acks=all: the response parks until every in-sync replica has
+            # the batch (the high watermark passes its last offset).
+            state.pending_acks.append((required, channel, corr, result.base_offset))
+            return
+        self._send_async(
+            channel, ("produce_ack", corr, result.base_offset),
+            self.config.control_bytes,
+        )
 
     # ----------------------------------------------------------------- fetch
     def _on_fetch(
@@ -248,53 +360,69 @@ class PlogBroker:
         max_records: int,
         max_wait: float,
     ) -> Generator[Any, Any, None]:
-        log = self.logs[(topic, partition)]
-        if log.end_offset > offset or max_wait <= 0:
+        key = (topic, partition)
+        if self._readable_end(key) > offset or max_wait <= 0:
             yield from self._respond_fetch(
                 channel, corr, topic, partition, offset, max_records
             )
             return
         # Long poll: park without holding an I/O thread.
         waiter = _FetchWaiter(channel, corr, topic, partition, offset, max_records)
-        self._waiters.setdefault((topic, partition), []).append(waiter)
+        self._waiters.setdefault(key, []).append(waiter)
         self.stats.long_polls_parked += 1
         self.sim.call_at(self.sim.now + max_wait, lambda: self._expire_waiter(waiter))
 
-    def _wake_fetchers(self, topic: str, partition: int) -> None:
-        waiters = self._waiters.pop((topic, partition), None)
+    def _readable_end(self, key: tuple[str, int]) -> int:
+        """First offset consumers may *not* read: the high watermark on a
+        replicated partition, the log end otherwise."""
+        state = self.states.get(key)
+        if state is None or not state.replicated:
+            return self.logs[key].end_offset
+        return min(state.hwm, self.logs[key].end_offset)
+
+    def _wake_fetchers(
+        self, topic: str, partition: int, replica: bool = False
+    ) -> None:
+        key = (topic, partition)
+        waiters = self._waiters.get(key)
         if not waiters:
             return
+        remaining: list[_FetchWaiter] = []
         for waiter in waiters:
             if not waiter.active:
                 continue
+            if (waiter.replica is not None) != replica:
+                remaining.append(waiter)
+                continue
             waiter.active = False
             self.sim.process(
-                self._respond_fetch(
-                    waiter.channel,
-                    waiter.corr,
-                    waiter.topic,
-                    waiter.partition,
-                    waiter.offset,
-                    waiter.max_records,
-                ),
-                name=f"{self.name}.fetch-wake",
+                self._respond_waiter(waiter), name=f"{self.name}.fetch-wake"
             )
+        if remaining:
+            self._waiters[key] = remaining
+        else:
+            self._waiters.pop(key, None)
 
     def _expire_waiter(self, waiter: _FetchWaiter) -> None:
         if not waiter.active:
             return
         waiter.active = False
         self.sim.process(
-            self._respond_fetch(
-                waiter.channel,
-                waiter.corr,
-                waiter.topic,
-                waiter.partition,
-                waiter.offset,
-                waiter.max_records,
-            ),
-            name=f"{self.name}.fetch-expire",
+            self._respond_waiter(waiter), name=f"{self.name}.fetch-expire"
         )
+
+    def _respond_waiter(self, waiter: _FetchWaiter) -> Generator[Any, Any, None]:
+        if waiter.replica is not None:
+            yield from self._respond_replica_fetch(
+                waiter.channel, waiter.corr,
+                (waiter.topic, waiter.partition),
+                waiter.offset, waiter.max_records,
+            )
+        else:
+            yield from self._respond_fetch(
+                waiter.channel, waiter.corr, waiter.topic, waiter.partition,
+                waiter.offset, waiter.max_records,
+            )
 
     def _respond_fetch(
         self,
@@ -305,8 +433,10 @@ class PlogBroker:
         offset: int,
         max_records: int,
     ) -> Generator[Any, Any, None]:
-        log = self.logs[(topic, partition)]
-        stored = log.read(offset, max_records)
+        key = (topic, partition)
+        log = self.logs[key]
+        readable = self._readable_end(key)
+        stored = [r for r in log.read(offset, max_records) if r.offset < readable]
         records = [(r.offset, r.value) for r in stored]
         nbytes = (
             sum(r.nbytes for r in stored)
@@ -322,20 +452,271 @@ class PlogBroker:
         yield from self.node.execute(
             self.config.fetch_cpu(len(stored), nbytes)
         )
-        try:
-            yield from channel.send(
-                ("fetch_resp", corr, records, next_offset, log.end_offset), nbytes
+        marks = [
+            record
+            for r in stored
+            if (record := getattr(r.value, "_record", None)) is not None
+        ]
+        self._send_async(
+            channel,
+            ("fetch_resp", corr, records, next_offset, readable),
+            nbytes,
+            marks=marks,
+        )
+
+    # ----------------------------------------------------------- replication
+    def _on_replica_fetch(
+        self,
+        channel: Channel,
+        corr: int,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_records: int,
+        max_wait: float,
+        follower: str,
+    ) -> Generator[Any, Any, None]:
+        key = (topic, partition)
+        state = self.states.get(key)
+        log = self.logs.get(key)
+        if state is None or log is None or state.leader != self.name:
+            # Not the leader (any more): stay silent — the follower's
+            # response timeout makes it re-resolve leadership and reconnect.
+            yield from self.node.execute(self.config.request_cpu)
+            return
+        self.stats.replica_fetches += 1
+        self._record_follower_progress(state, log, follower, offset)
+        if log.end_offset > offset or max_wait <= 0:
+            yield from self._respond_replica_fetch(
+                channel, corr, key, offset, max_records
             )
-            tel = _telemetry()
-            if tel is not None:
-                for r in stored:
-                    record = getattr(r.value, "_record", None)
-                    if record is not None:
-                        tel.mark(
-                            record, "broker_out", self.sim.now, "plog", self.name
-                        )
-        except (MessageLost, ChannelClosed):
-            pass
+            return
+        waiter = _FetchWaiter(
+            channel, corr, topic, partition, offset, max_records,
+            replica=follower,
+        )
+        self._waiters.setdefault(key, []).append(waiter)
+        self.stats.long_polls_parked += 1
+        self.sim.call_at(self.sim.now + max_wait, lambda: self._expire_waiter(waiter))
+
+    def _respond_replica_fetch(
+        self,
+        channel: Channel,
+        corr: int,
+        key: tuple[str, int],
+        offset: int,
+        max_records: int,
+    ) -> Generator[Any, Any, None]:
+        log = self.logs[key]
+        state = self.states[key]
+        stored = log.read(offset, max_records)
+        records = [(r.offset, r.key, r.value, r.nbytes) for r in stored]
+        nbytes = (
+            sum(r.nbytes for r in stored)
+            + self.config.frame_overhead_bytes
+            + self.config.batch_overhead_bytes
+        )
+        yield from self.node.execute(self.config.fetch_cpu(len(stored), nbytes))
+        self._send_async(
+            channel,
+            ("rfetch_resp", corr, records, log.end_offset, state.hwm, state.epoch),
+            nbytes,
+        )
+
+    def _record_follower_progress(
+        self, state: PartitionState, log: PartitionLog, follower: str, offset: int
+    ) -> None:
+        """A replica fetch at ``offset`` proves the follower holds
+        everything below ``offset`` (its log end at request time)."""
+        prog = state.progress.get(follower)
+        if prog is None:
+            prog = state.progress[follower] = ReplicaProgress()
+        # Replica fetches are single-in-flight per follower, so ``offset``
+        # is the follower's true end — including after a truncation, which
+        # is why this is an assignment and not a max().
+        prog.next_offset = offset
+        if offset >= log.end_offset:
+            prog.caught_up_at = self.sim.now
+            if not prog.in_isr:
+                prog.in_isr = True
+                self.stats.isr_expands += 1
+                self._notify_isr(state)
+        self._advance_hwm((state.topic, state.partition))
+
+    def _advance_hwm(self, key: tuple[str, int]) -> None:
+        state = self.states.get(key)
+        log = self.logs[key]
+        if state is None or not state.replicated:
+            new = log.end_offset
+        elif state.leader != self.name:
+            return  # follower HWMs move via replica-fetch responses
+        else:
+            new = log.end_offset
+            for prog in state.progress.values():
+                if prog.in_isr and prog.next_offset < new:
+                    new = prog.next_offset
+        if state is not None and new > state.hwm:
+            state.hwm = new
+            self._wake_fetchers(key[0], key[1])
+            if state.pending_acks:
+                self._fire_pending_acks(state)
+
+    def _fire_pending_acks(self, state: PartitionState) -> None:
+        ready = [entry for entry in state.pending_acks if entry[0] <= state.hwm]
+        if not ready:
+            return
+        state.pending_acks = [
+            entry for entry in state.pending_acks if entry[0] > state.hwm
+        ]
+        for _required, channel, corr, base_offset in ready:
+            self._send_async(
+                channel, ("produce_ack", corr, base_offset),
+                self.config.control_bytes,
+            )
+
+    def _isr_scan(self) -> Generator[Any, Any, None]:
+        """Leader-side lag rule: a follower that has not been caught up to
+        the log end for ``replica_lag_max`` leaves the ISR."""
+        cfg = self.config
+        while True:
+            yield self.sim.timeout(cfg.isr_check_interval)
+            if not self.alive or self.jvm.dead:
+                continue
+            for key, state in self.states.items():
+                if state.leader != self.name or not state.replicated:
+                    continue
+                end = self.logs[key].end_offset
+                changed = False
+                for prog in state.progress.values():
+                    if not prog.in_isr:
+                        continue
+                    if prog.next_offset >= end:
+                        prog.caught_up_at = self.sim.now
+                        continue
+                    if self.sim.now - prog.caught_up_at > cfg.replica_lag_max:
+                        prog.in_isr = False
+                        self.stats.isr_shrinks += 1
+                        changed = True
+                if changed:
+                    self._notify_isr(state)
+                    self._advance_hwm(key)
+
+    def drop_follower(self, topic: str, partition: int, follower: str) -> None:
+        """Controller fast path: remove a crashed follower from the ISR
+        immediately instead of waiting out the lag window."""
+        state = self.states.get((topic, partition))
+        if state is None or state.leader != self.name:
+            return
+        prog = state.progress.get(follower)
+        if prog is None or not prog.in_isr:
+            return
+        prog.in_isr = False
+        self.stats.isr_shrinks += 1
+        self._notify_isr(state)
+        self._advance_hwm((topic, partition))
+
+    def become_leader(
+        self, topic: str, partition: int, epoch: int, isr: frozenset
+    ) -> None:
+        """Controller promotion after winning an election.
+
+        The carried-over ISR members' progress floors at our HWM — every
+        ISR member is guaranteed to hold at least that much — and their
+        true ends arrive with their first replica fetch, so the HWM never
+        advances past data a surviving replica might not hold.
+        """
+        key = (topic, partition)
+        state = self.states[key]
+        state.leader = self.name
+        state.epoch = epoch
+        state.pending_acks.clear()
+        state.progress = {}
+        for name in isr:
+            if name != self.name:
+                state.progress[name] = ReplicaProgress(
+                    next_offset=state.hwm,
+                    caught_up_at=self.sim.now,
+                    in_isr=True,
+                )
+        self._notify_isr(state)
+        self._advance_hwm(key)
+
+    def become_follower(
+        self, topic: str, partition: int, leader: str, epoch: int
+    ) -> None:
+        state = self.states.get((topic, partition))
+        if state is None:
+            return
+        state.leader = leader
+        if epoch > state.epoch:
+            state.epoch = epoch
+        state.progress = {}
+        state.pending_acks.clear()
+
+    def wake_consumer_fetchers(self, topic: str, partition: int) -> None:
+        """Follower-side hook: its HWM advanced, parked long-polls may now
+        have readable data (read-from-follower is HWM-bounded too)."""
+        self._wake_fetchers(topic, partition)
+
+    def append_internal(self, topic: str, partition: int, entries: list) -> None:
+        """Append control entries (e.g. ``__offsets`` commits) to a local
+        partition through the replication bookkeeping, without the produce
+        protocol.  CPU for the triggering request was already charged."""
+        key = (topic, partition)
+        log = self.logs.get(key)
+        if log is None:
+            return
+        batch = [(None, entry, float(self.config.control_bytes)) for entry in entries]
+        stored_bytes = sum(b[2] for b in batch) + (
+            self.config.per_record_overhead_bytes * len(batch)
+        )
+        try:
+            self.jvm.alloc(stored_bytes, "internal append")
+        except OutOfMemoryError:
+            self.stats.records_dropped += len(batch)
+            return
+        result = log.append(batch)
+        if result.evicted_bytes:
+            self.jvm.free(result.evicted_bytes)
+        state = self.states.get(key)
+        if state is not None and state.replicated:
+            self._wake_fetchers(topic, partition, replica=True)
+        self._advance_hwm(key)
+
+    def _notify_isr(self, state: PartitionState) -> None:
+        if self.isr_listener is not None:
+            self.isr_listener(state.topic, state.partition, state.isr_names())
+        tel = _telemetry()
+        if tel is not None:
+            tel.metrics.gauge("plog", "replication", "isr_size").set(state.isr_size)
+
+    def _send_async(
+        self,
+        channel: Channel,
+        frame: tuple,
+        nbytes: float,
+        marks: Optional[list] = None,
+    ) -> None:
+        """Hand a response to a transient sender process.
+
+        The I/O thread moves on immediately; the sender pays the wire cost
+        (and, on acked transports, the stop-and-wait retransmission stalls)
+        off the request path — Kafka's network-thread/request-handler
+        split.  Under a loss burst this is the difference between a broker
+        that keeps serving and four I/O threads wedged in retransmits.
+        """
+        def _send() -> Generator[Any, Any, None]:
+            try:
+                yield from channel.send(frame, nbytes)
+            except (MessageLost, ChannelClosed):
+                return
+            if marks:
+                tel = _telemetry()
+                if tel is not None:
+                    for record in marks:
+                        tel.mark(record, "broker_out", self.sim.now, "plog", self.name)
+
+        self.sim.process(_send(), name=f"{self.name}.respond")
 
     # ----------------------------------------------------------------- admin
     def partition_count(self) -> int:
@@ -358,11 +739,16 @@ class PlogBroker:
         self.alive = False
         self._io_started = False
         self.crashes += 1
+        self.crashed_at = self.sim.now
         for channel in list(self._client_channels):
             if not channel.closed:
                 channel.close()
         self._client_channels.clear()
         self._waiters.clear()
+        for state in self.states.values():
+            # Parked acks=all responses die with their channels; producers
+            # that retry re-send the batch to the new leader.
+            state.pending_acks.clear()
 
     def restart(self) -> None:
         """Bring a crashed broker back up with a fresh I/O thread pool."""

@@ -19,6 +19,13 @@ from repro.faults.recovery import RetryPolicy
 KiB = 1024
 MiB = 1024 * 1024
 
+#: ``acks`` value meaning "wait for every in-sync replica".
+ACKS_ALL = -1
+
+#: Internal topic holding consumer-group offset commits; replicated across
+#: all brokers so a re-elected coordinator can recover committed positions.
+OFFSETS_TOPIC = "__offsets"
+
 
 @dataclass(frozen=True)
 class PlogConfig:
@@ -37,8 +44,17 @@ class PlogConfig:
     batch_max_records: int = 64
     #: Bytes per batch before an immediate flush.
     batch_max_bytes: int = 64 * KiB
-    #: 0 = fire-and-forget, 1 = wait for the leader's append acknowledgement.
+    #: 0 = fire-and-forget, 1 = wait for the leader's append acknowledgement,
+    #: -1 (``ACKS_ALL``) = wait until every in-sync replica has the batch
+    #: (the ack fires when the high watermark passes the batch's last offset).
     acks: int = 1
+    #: Per-partition cap on concurrently in-flight (unacknowledged) batches,
+    #: à la Kafka ``max.in.flight.requests.per.connection``.  Batches beyond
+    #: the window queue client-side instead of spawning more flushes, so one
+    #: partition's retry storm cannot monopolise the broker and a backoff
+    #: head-of-line-blocks at most ``max_in_flight`` batches, not the world.
+    #: 0 disables the window (the pre-replication unbounded behaviour).
+    max_in_flight: int = 5
 
     # -- consumer ----------------------------------------------------------
     #: Max records returned by one fetch (the pull-side batch).
@@ -128,6 +144,35 @@ class PlogConfig:
     #: Coordinator waits this long after a membership change before
     #: computing the new assignment (coalesces join storms).
     rebalance_delay: float = 0.5
+
+    # -- replication -------------------------------------------------------
+    #: Copies of each partition (1 = unreplicated, the pre-replication
+    #: behaviour; N > 1 places replicas on the N round-robin-next brokers,
+    #: first replica = preferred leader).
+    replication_factor: int = 1
+    #: ``acks=-1`` produce requests fail with ``not_enough_replicas`` when
+    #: the ISR has shrunk below this (Kafka ``min.insync.replicas``).
+    min_insync_replicas: int = 1
+    #: Records per replica fetch (followers catch up in bigger bites than
+    #: consumers).
+    replica_fetch_max_records: int = 2048
+    #: Long-poll ceiling for a replica fetch with no new data.
+    replica_fetch_wait: float = 0.25
+    #: Follower backoff after a failed replica fetch (leader unreachable,
+    #: lost response) before reconnecting and retrying.
+    replica_fetch_backoff: float = 0.1
+    #: A follower that has not been caught up to the leader's end for this
+    #: long is dropped from the ISR (Kafka ``replica.lag.time.max.ms``).
+    replica_lag_max: float = 1.0
+    #: Leader-side period of the ISR shrink scan.
+    isr_check_interval: float = 0.25
+    #: Controller liveness-scan period: bounds failure-detection latency for
+    #: leader election and coordinator failover.
+    failure_detect_interval: float = 0.25
+    #: Run the cluster controller (and host the group coordinator's offsets
+    #: on the replicated ``__offsets`` log) even at ``replication_factor=1``,
+    #: so coordinator re-election can be exercised without data replication.
+    coordinator_failover: bool = False
 
     def with_(self, **changes) -> "PlogConfig":
         """Convenience wrapper around :func:`dataclasses.replace`."""

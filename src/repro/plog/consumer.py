@@ -88,6 +88,9 @@ class PlogConsumer:
         self.fetch_retries = 0
         self.fetch_timeouts = 0
         self.reconnects = 0
+        #: Times this member rejoined after losing its coordinator channel
+        #: (coordinator broker crash → re-election → rejoin + rebalance).
+        self.coordinator_rejoins = 0
         #: Scales per-record processing CPU; the slow-consumer fault raises
         #: it for a window, modelling a starved subscriber.
         self.record_cpu_multiplier = 1.0
@@ -99,21 +102,49 @@ class PlogConsumer:
 
         Run as a process: ``sim.process(consumer.start())``.  Raises the
         transport's refusal errors if the coordinator connection fails.
+
+        With ``consumer_recovery`` the member outlives its coordinator:
+        when the coordinator channel dies (broker crash), it reconnects via
+        coordinator *discovery* — reaching the re-elected coordinator — and
+        rejoins, which triggers the rebalance that resumes assignments and
+        commits.  Without recovery the pre-failover behaviour is kept
+        exactly: connect errors raise, EOF ends the membership.
         """
-        self._coord = yield from self.deployment.connect_coordinator(self.node)
-        yield from self._coord.send(
-            ("join", self.group, self.name, self.topic),
-            self.config.control_bytes,
-        )
-        self.sim.process(self._commit_loop(), name=f"{self.name}.commit")
+        recover = self.config.consumer_recovery
+        backoff = self.config.consumer_retry_backoff
+        joined_once = False
         while not self.closed:
-            delivery = yield self._coord.receive()
-            if delivery.payload is EOF:
+            try:
+                self._coord = yield from self.deployment.connect_coordinator(
+                    self.node
+                )
+                yield from self._coord.send(
+                    ("join", self.group, self.name, self.topic),
+                    self.config.control_bytes,
+                )
+            except (TransportError, ChannelClosed, MessageLost):
+                if not recover:
+                    raise
+                self._coord = None
+                yield self.sim.timeout(backoff)
+                backoff = min(backoff * 2.0, self.config.consumer_retry_max)
+                continue
+            if not joined_once:
+                joined_once = True
+                self.sim.process(self._commit_loop(), name=f"{self.name}.commit")
+            backoff = self.config.consumer_retry_backoff
+            while not self.closed:
+                delivery = yield self._coord.receive()
+                if delivery.payload is EOF:
+                    break
+                frame = delivery.payload
+                if frame[0] == "assign":
+                    _, _, generation, partitions, offsets = frame
+                    self._on_assignment(generation, partitions, offsets)
+            if self.closed or not recover:
                 return
-            frame = delivery.payload
-            if frame[0] == "assign":
-                _, _, generation, partitions, offsets = frame
-                self._on_assignment(generation, partitions, offsets)
+            self.coordinator_rejoins += 1
+            yield self.sim.timeout(backoff)
 
     def _on_assignment(
         self, generation: int, partitions: tuple, offsets: dict

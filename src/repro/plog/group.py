@@ -21,7 +21,7 @@ each member a contiguous slice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.plog.config import PlogConfig
 from repro.transport.base import Channel, ChannelClosed, MessageLost
@@ -61,6 +61,13 @@ class GroupCoordinator:
         self.n_partitions = n_partitions
         self.groups: dict[str, _Group] = {}
         self.rebalances = 0
+        #: Optional mirror for accepted commits — the deployment wires this
+        #: to append ``(group, topic, partition, offset)`` entries to the
+        #: replicated ``__offsets`` partition so a successor coordinator
+        #: can recover committed positions after a failover.
+        self.offsets_sink: Optional[Callable[[list], None]] = None
+        #: Offsets installed by :meth:`recover_from_log` at election time.
+        self.offsets_recovered = 0
         broker.coordinator = self
 
     # ------------------------------------------------------------- requests
@@ -100,10 +107,15 @@ class GroupCoordinator:
             return
         # Only the current owner of a partition may move its offset.
         owned = set(group.assignment.get(member_id, ()))
+        accepted: list[tuple[str, str, int, int]] = []
         for partition, offset in offsets.items():
             if partition in owned:
                 key = (topic, partition)
-                group.offsets[key] = max(group.offsets.get(key, 0), offset)
+                if offset > group.offsets.get(key, 0):
+                    group.offsets[key] = offset
+                    accepted.append((group_name, topic, partition, offset))
+        if accepted and self.offsets_sink is not None:
+            self.offsets_sink(accepted)
 
     def on_disconnect(self, channel: Channel) -> None:
         """A client channel died: evict any member it belonged to."""
@@ -171,6 +183,30 @@ class GroupCoordinator:
             )
         except (MessageLost, ChannelClosed):
             pass
+
+    # -------------------------------------------------------------- recovery
+    def recover_from_log(self, offsets_log) -> None:
+        """Rebuild committed offsets from a local ``__offsets`` replica.
+
+        Called by the controller when this coordinator is elected after its
+        predecessor's broker died.  The replica may trail the dead
+        coordinator's in-memory state by the replication lag — consumers
+        replay that window, which at-least-once delivery absorbs.
+        Membership is *not* recovered: consumers rejoin (their coordinator
+        channels died with the old broker) and the resulting rebalance
+        hands out partitions with the recovered offsets.
+        """
+        for segment in offsets_log.segments:
+            for record in segment.records:
+                entry = record.value
+                if not isinstance(entry, tuple) or len(entry) != 4:
+                    continue  # pragma: no cover - foreign record shape
+                group_name, topic, partition, offset = entry
+                group = self.groups.setdefault(group_name, _Group(group_name))
+                key = (topic, partition)
+                if offset > group.offsets.get(key, 0):
+                    group.offsets[key] = offset
+                    self.offsets_recovered += 1
 
     # ------------------------------------------------------------ inspection
     def assignment_of(self, group_name: str, member_id: str) -> tuple[int, ...]:

@@ -118,6 +118,53 @@ class PartitionLog:
             self.total_bytes -= segment.nbytes
         return evicted
 
+    # ------------------------------------------------------------- truncate
+    def truncate_to(self, offset: int) -> int:
+        """Discard every record at or above ``offset``; returns how many were
+        dropped.
+
+        A follower rejoining after a crash may hold records its new leader
+        never replicated (they were acked only locally, or not at all); it
+        truncates its log back to the leader's end offset before resuming
+        replica fetches, exactly like Kafka's log truncation on leader epoch
+        change.  Truncating at/after ``end_offset`` is a no-op; truncating
+        below ``start_offset`` empties the retained log.
+        """
+        if offset >= self.end_offset:
+            return 0
+        dropped = 0
+        while self.segments:
+            segment = self.segments[-1]
+            if segment.base_offset >= offset:
+                dropped += len(segment.records)
+                self.total_bytes -= segment.nbytes
+                self.segments.pop()
+                continue
+            keep = offset - segment.base_offset
+            for record in segment.records[keep:]:
+                nbytes = record.nbytes + self.record_overhead_bytes
+                segment.nbytes -= nbytes
+                self.total_bytes -= nbytes
+                dropped += 1
+            del segment.records[keep:]
+            break
+        if not self.segments:
+            self.segments = [Segment(base_offset=offset)]
+        return dropped
+
+    def reset_to(self, offset: int) -> float:
+        """Discard all retained records and restart the log at ``offset``.
+
+        A follower that lagged past the leader's retention fast-forwards
+        this way: the evicted range cannot be replicated any more, and
+        offsets must stay aligned with the leader's.  Returns the bytes
+        released (for the caller's heap bookkeeping).
+        """
+        freed = self.total_bytes
+        self.segments = [Segment(base_offset=offset)]
+        self.total_bytes = 0.0
+        return freed
+
     # ----------------------------------------------------------------- read
     def read(self, offset: int, max_records: int) -> list[StoredRecord]:
         """Up to ``max_records`` records starting at ``offset``.

@@ -27,9 +27,11 @@ instead of accumulating in ``send_failures``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from repro.faults.recovery import RttEstimator
 from repro.plog.config import PlogConfig
 from repro.plog.partitioner import partition_for
 from repro.telemetry.context import current as _telemetry
@@ -101,12 +103,28 @@ class PlogProducer:
         self._pending_acks: dict[int, _PendingAck] = {}
         #: logical partition -> partition actually routed to (failover).
         self._routes: dict[int, int] = {}
+        #: Per-partition count of in-flight (spawned, unfinished) flushes,
+        #: bounded by ``config.max_in_flight``.
+        self._inflight: dict[tuple[str, int], int] = {}
+        #: Batches waiting for a window slot, FIFO per partition.
+        self._flush_queue: dict[tuple[str, int], deque] = {}
+        #: Ack-RTT estimator driving adaptive retry timing (Karn-sampled:
+        #: only first-attempt round trips are observed).
+        self._rtt: Optional[RttEstimator] = (
+            RttEstimator(initial_rto=self.config.produce_ack_timeout)
+            if self.config.producer_retry.adaptive
+            else None
+        )
         self.records_sent = 0
         self.batches_sent = 0
         self.acks_received = 0
         self.send_failures = 0
         self.retries = 0
         self.reconnects = 0
+        #: Batches that waited client-side for an in-flight window slot.
+        self.batches_windowed = 0
+        #: ``produce_err`` responses (leadership moved / ISR too small).
+        self.produce_errors = 0
         self.closed = False
 
     # ------------------------------------------------------------ connecting
@@ -188,7 +206,33 @@ class PlogProducer:
         if batch is None or not batch.records:
             return
         self._epochs[bkey] = self._epochs.get(bkey, 0) + 1
-        self.sim.process(self._flush(bkey, batch), name=f"{self.name}.flush")
+        window = self.config.max_in_flight
+        if window and self._inflight.get(bkey, 0) >= window:
+            # Window full (some in-flight batch is slow or retrying): queue
+            # client-side.  The batch keeps its slot in FIFO order, so a
+            # single stuck batch head-of-line-blocks at most this
+            # partition's window — not the producer's whole send path.
+            self._flush_queue.setdefault(bkey, deque()).append(batch)
+            self.batches_windowed += 1
+            return
+        self._launch_flush(bkey, batch)
+
+    def _launch_flush(self, bkey: tuple[str, int], batch: "_Batch") -> None:
+        self._inflight[bkey] = self._inflight.get(bkey, 0) + 1
+        self.sim.process(
+            self._flush_slot(bkey, batch), name=f"{self.name}.flush"
+        )
+
+    def _flush_slot(
+        self, bkey: tuple[str, int], batch: "_Batch"
+    ) -> Generator[Any, Any, None]:
+        try:
+            yield from self._flush(bkey, batch)
+        finally:
+            self._inflight[bkey] -= 1
+            queue = self._flush_queue.get(bkey)
+            if queue:
+                self._launch_flush(bkey, queue.popleft())
 
     def _flush(
         self, bkey: tuple[str, int], batch: _Batch
@@ -225,6 +269,7 @@ class PlogProducer:
                         batch.records, ack_event, channel
                     )
                 target = self._routes.get(partition, partition)
+                attempt_started = self.sim.now
                 try:
                     yield from channel.send(
                         ("produce", corr, topic, target, wire_batch, acks),
@@ -253,22 +298,43 @@ class PlogProducer:
                     self.batches_sent += 1
                     self.records_sent += len(batch.records)
                     return
-                deadline = self.sim.timeout(self.config.produce_ack_timeout)
+                ack_timeout = self.config.produce_ack_timeout
+                if self._rtt is not None:
+                    ack_timeout = self._rtt.rto
+                # The timeout clock starts when the request is handed to
+                # the transport: ``channel.send`` blocks for the one-way
+                # transit, so the deadline covers what is *left* of the
+                # round-trip budget, not a fresh window after delivery.
+                elapsed = self.sim.now - attempt_started
+                deadline = self.sim.timeout(max(ack_timeout - elapsed, 1e-3))
                 yield self.sim.any_of([ack_event, deadline])
                 if ack_event.triggered and ack_event.value:
+                    if self._rtt is not None and attempt == 1:
+                        # Karn's rule: only unambiguous (first-attempt)
+                        # round trips feed the estimator.
+                        self._rtt.observe(self.sim.now - attempt_started)
                     self.batches_sent += 1
                     self.records_sent += len(batch.records)
                     return
                 # Timed out or the channel died: retry the whole batch.
                 # If the append actually landed and only the ack was lost,
                 # the retry makes a duplicate — at-least-once by design.
+                if self._rtt is not None and not ack_event.triggered:
+                    # Genuine timeout (not a channel death): back the RTO
+                    # off — Karn's rule gives the estimator no sample while
+                    # first attempts keep timing out, so this is the only
+                    # way it climbs out of a latency step.
+                    self._rtt.backoff()
                 self._pending_acks.pop(corr, None)
             if not policy.enabled or attempt > policy.retries:
                 self.send_failures += len(batch.records)
                 return
             self.retries += 1
             yield self.sim.timeout(
-                policy.delay(attempt, self.sim, f"plog.retry.{self.name}")
+                policy.delay(
+                    attempt, self.sim, f"plog.retry.{self.name}",
+                    rto=self._rtt.rto if self._rtt is not None else None,
+                )
             )
 
     def _ack_reader(self, channel: Channel) -> Generator[Any, Any, None]:
@@ -287,6 +353,19 @@ class PlogProducer:
                         pending.event.succeed(False)
                 return
             frame = delivery.payload
+            if frame[0] == "produce_err":
+                self.produce_errors += 1
+                pending = self._pending_acks.pop(frame[1], None)
+                if pending is not None and pending.event is not None:
+                    if not pending.event.triggered:
+                        pending.event.succeed(False)
+                if frame[2] == "not_leader" and not channel.closed:
+                    # Leadership moved: drop the channel so retries
+                    # reconnect via the deployment's refreshed leader map
+                    # (the EOF also fails this channel's other in-flight
+                    # batches, sending them down the same path).
+                    channel.close()
+                continue
             if frame[0] != "produce_ack":  # pragma: no cover - protocol guard
                 continue
             self.acks_received += 1

@@ -50,6 +50,14 @@ def geometric_buckets(
     return tuple(bounds)
 
 
+#: Buckets for leader-election latency (seconds): elections resolve within
+#: one failure-detection scan (~0.25 s), so the default milliseconds-first
+#: latency buckets would lump every observation into a handful of bins.
+#: 1 ms .. ~60 s at the default factor keeps the histogram informative for
+#: both the detection delay and pathological multi-failure stalls.
+ELECTION_LATENCY_BUCKETS = geometric_buckets(1e-3, 60.0)
+
+
 class Counter:
     """A monotone event count."""
 
