@@ -169,8 +169,7 @@ class Jvm:
         self.thread_count += 1
         self.threads_peak = max(self.threads_peak, self.thread_count)
         proc = self.sim.process(generator, name=name or f"{self.name}.thread")
-        assert proc.callbacks is not None
-        proc.callbacks.append(lambda _e: self._thread_exit())
+        proc.add_callback(lambda _e: self._thread_exit())
         return proc
 
     def _thread_exit(self) -> None:

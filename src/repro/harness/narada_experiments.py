@@ -271,17 +271,19 @@ COMPARISON_CONNECTIONS = 800
 
 
 def run_comparison_tests(
-    scale: Optional[Scale] = None, seed: int = 1
+    scale: Optional[Scale] = None, seed: int = 1, jobs: int = 1
 ) -> dict[str, NaradaRunResult]:
     """All six Table II settings (shared by fig3, fig4 and the loss table)."""
-    results = {}
-    for name, overrides in COMPARISON_TESTS.items():
+    from repro.harness.parallel import map_points
+
+    points = []
+    for overrides in COMPARISON_TESTS.values():
         kwargs = dict(overrides)
-        connections = kwargs.pop("connections", COMPARISON_CONNECTIONS)
-        results[name] = narada_run(
-            connections, scale=scale, seed=seed, **kwargs
-        )
-    return results
+        kwargs.setdefault("connections", COMPARISON_CONNECTIONS)
+        kwargs.update(scale=scale, seed=seed)
+        points.append(kwargs)
+    results = map_points(__name__, "narada_run", points, jobs=jobs)
+    return dict(zip(COMPARISON_TESTS, results))
 
 
 def fig3(runs: dict[str, NaradaRunResult]) -> ExperimentResult:
@@ -341,10 +343,17 @@ def run_scaling_sweep(
     dbn: bool,
     scale: Optional[Scale] = None,
     seed: int = 1,
+    jobs: int = 1,
 ) -> dict[int, NaradaRunResult]:
-    return {
-        n: narada_run(n, dbn=dbn, scale=scale, seed=seed) for n in connections
-    }
+    from repro.harness.parallel import map_points
+
+    results = map_points(
+        __name__,
+        "narada_run",
+        [dict(connections=n, dbn=dbn, scale=scale, seed=seed) for n in connections],
+        jobs=jobs,
+    )
+    return dict(zip(connections, results))
 
 
 def fig7(

@@ -287,11 +287,20 @@ def run_scaling_sweep(
     n_brokers: int = 1,
     scale: Optional[Scale] = None,
     seed: int = 1,
+    jobs: int = 1,
 ) -> dict[int, PlogRunResult]:
-    return {
-        n: plog_run(n, n_brokers=n_brokers, scale=scale, seed=seed)
-        for n in connections
-    }
+    from repro.harness.parallel import map_points
+
+    results = map_points(
+        __name__,
+        "plog_run",
+        [
+            dict(connections=n, n_brokers=n_brokers, scale=scale, seed=seed)
+            for n in connections
+        ],
+        jobs=jobs,
+    )
+    return dict(zip(connections, results))
 
 
 def plog_scaling(

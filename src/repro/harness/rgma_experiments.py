@@ -198,11 +198,20 @@ def run_scaling_sweep(
     distributed: bool,
     scale: Optional[Scale] = None,
     seed: int = 1,
+    jobs: int = 1,
 ) -> dict[int, RgmaRunResult]:
-    return {
-        n: rgma_run(n, distributed=distributed, scale=scale, seed=seed)
-        for n in connections
-    }
+    from repro.harness.parallel import map_points
+
+    results = map_points(
+        __name__,
+        "rgma_run",
+        [
+            dict(connections=n, distributed=distributed, scale=scale, seed=seed)
+            for n in connections
+        ],
+        jobs=jobs,
+    )
+    return dict(zip(connections, results))
 
 
 def fig11(

@@ -2,16 +2,32 @@
 
 Several figures share the same underlying sweeps (Figs 6, 7, 8, 9 all read
 the Narada scaling runs; Figs 11-14 the R-GMA ones; the plog figures the
-partitioned-log ones), so sweeps are cached per (kind, scale, seed) within
-the process.  The cache is LRU-bounded: sweeps hold whole record books, so
-an unbounded cache grows without limit when many (scale, seed) combinations
-run in one process (e.g. a benchmark session).
+partitioned-log ones), so sweeps are cached per (kind, scale, seed) — in
+two tiers:
+
+* an in-process LRU (``SWEEP_CACHE_MAX`` entries; sweeps hold whole record
+  books, so an unbounded cache would grow without limit when many
+  (scale, seed) combinations run in one process, e.g. a benchmark
+  session);
+* a content-addressed on-disk tier (:mod:`repro.harness.cache`) keyed by
+  the same inputs plus the active fault plan and a code-version salt, so
+  re-running a figure in a fresh process skips the sweep entirely.  The
+  disk tier is bypassed while a telemetry session is active — a sweep
+  loaded from disk carries no live spans, and ``--trace`` must see real
+  ones.
+
+``--no-cache`` disables both tiers; :func:`clear_cache` empties both.
+Sweep points fan out over a process pool when ``--jobs``/``$REPRO_JOBS``
+ask for it (:mod:`repro.harness.parallel`); results are identical to a
+serial run by construction.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import itertools
+import os
 import sys
 from collections import OrderedDict
 from typing import Any, Callable, Optional
@@ -27,6 +43,8 @@ from repro.harness import (
     plog_experiments,
     rgma_experiments,
 )
+from repro.harness.cache import DiskCache
+from repro.harness.parallel import resolve_jobs
 from repro.harness.scale import Scale
 from repro.telemetry import context as tel_context
 
@@ -35,6 +53,13 @@ from repro.telemetry import context as tel_context
 SWEEP_CACHE_MAX = 8
 
 _sweep_cache: "OrderedDict[tuple, Any]" = OrderedDict()
+
+
+#: Never-reused tokens for telemetry sessions seen by the cache.  ``id()``
+#: is not safe here: a freed session's address can be handed to the next
+#: one, which would then satisfy lookups against the dead session's sweeps
+#: (whose spans it does not hold).
+_session_tokens = itertools.count(1)
 
 
 def _cache_context() -> tuple:
@@ -47,90 +72,160 @@ def _cache_context() -> tuple:
     the fault-plan half via :data:`_active_fault_plan`.
     """
     tel = tel_context.current()
-    return (_active_fault_plan, id(tel) if tel is not None else None)
+    if tel is None:
+        return (_active_fault_plan, None)
+    token = getattr(tel, "_sweep_cache_token", None)
+    if token is None:
+        token = next(_session_tokens)
+        tel._sweep_cache_token = token
+    return (_active_fault_plan, token)
 
 
 _active_fault_plan: Optional[str] = None
 
+#: Worker count sweep builders pass to ``run_scaling_sweep`` (set per call
+#: by :func:`run`, the way ``_active_fault_plan`` is).
+_jobs: int = 1
+
+#: ``--no-cache`` switch: False bypasses both cache tiers entirely.
+_cache_enabled: bool = True
+
+
+def _disk_key(key: tuple) -> tuple:
+    """The on-disk key: the sweep key plus the active fault plan.
+
+    A sweep built under a fault plan must be namespaced away from the
+    fault-free entry even across processes.  (The telemetry half of
+    :func:`_cache_context` is deliberately absent: the disk tier is
+    skipped outright while a session is active.)
+    """
+    return key + (_active_fault_plan,)
+
 
 def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
-    key = key + _cache_context()
-    if key in _sweep_cache:
-        _sweep_cache.move_to_end(key)
-        return _sweep_cache[key]
+    if not _cache_enabled:
+        return builder()
+    mem_key = key + _cache_context()
+    if mem_key in _sweep_cache:
+        _sweep_cache.move_to_end(mem_key)
+        return _sweep_cache[mem_key]
+    # The disk tier only serves sessionless lookups: entries carry record
+    # books but no spans, and an active --trace session must observe live
+    # runs.  (Disk writes are skipped symmetrically so a traced run never
+    # seeds the cache with data an untraced run would then trust — they
+    # would be identical, but keeping the tiers' contexts aligned is what
+    # the fault-plan regression test pins down.)
+    disk: Optional[DiskCache] = None
+    if tel_context.current() is None:
+        disk = DiskCache()
+        value = disk.get(_disk_key(key))
+        if value is not None:
+            _store_in_memory(mem_key, value)
+            return value
     value = builder()
-    _sweep_cache[key] = value
-    while len(_sweep_cache) > SWEEP_CACHE_MAX:
-        _sweep_cache.popitem(last=False)
+    if disk is not None:
+        disk.put(_disk_key(key), value)
+    _store_in_memory(mem_key, value)
     return value
 
 
+def _store_in_memory(mem_key: tuple, value: Any) -> None:
+    _sweep_cache[mem_key] = value
+    while len(_sweep_cache) > SWEEP_CACHE_MAX:
+        _sweep_cache.popitem(last=False)
+
+
 def clear_cache() -> None:
+    """Empty both cache tiers (the in-process LRU and the disk entries)."""
     _sweep_cache.clear()
+    DiskCache().clear()
 
 
 # ------------------------------------------------------------ shared sweeps
 
 def _comparison_runs(scale: Scale, seed: int):
     return _cached(
-        ("narada_comparison", scale.name, seed),
-        lambda: narada_experiments.run_comparison_tests(scale=scale, seed=seed),
+        ("narada_comparison", scale.cache_key(), seed),
+        lambda: narada_experiments.run_comparison_tests(
+            scale=scale, seed=seed, jobs=_jobs
+        ),
     )
 
 
 def _narada_single(scale: Scale, seed: int):
     return _cached(
-        ("narada_single", scale.name, seed),
+        ("narada_single", scale.cache_key(), seed),
         lambda: narada_experiments.run_scaling_sweep(
-            narada_experiments.SINGLE_SWEEP, dbn=False, scale=scale, seed=seed
+            narada_experiments.SINGLE_SWEEP,
+            dbn=False,
+            scale=scale,
+            seed=seed,
+            jobs=_jobs,
         ),
     )
 
 
 def _narada_dbn(scale: Scale, seed: int):
     return _cached(
-        ("narada_dbn", scale.name, seed),
+        ("narada_dbn", scale.cache_key(), seed),
         lambda: narada_experiments.run_scaling_sweep(
-            narada_experiments.DBN_SWEEP, dbn=True, scale=scale, seed=seed
+            narada_experiments.DBN_SWEEP,
+            dbn=True,
+            scale=scale,
+            seed=seed,
+            jobs=_jobs,
         ),
     )
 
 
 def _rgma_single(scale: Scale, seed: int):
     return _cached(
-        ("rgma_single", scale.name, seed),
+        ("rgma_single", scale.cache_key(), seed),
         lambda: rgma_experiments.run_scaling_sweep(
-            rgma_experiments.SINGLE_SWEEP, distributed=False, scale=scale, seed=seed
+            rgma_experiments.SINGLE_SWEEP,
+            distributed=False,
+            scale=scale,
+            seed=seed,
+            jobs=_jobs,
         ),
     )
 
 
 def _rgma_distributed(scale: Scale, seed: int):
     return _cached(
-        ("rgma_distributed", scale.name, seed),
+        ("rgma_distributed", scale.cache_key(), seed),
         lambda: rgma_experiments.run_scaling_sweep(
             rgma_experiments.DISTRIBUTED_SWEEP,
             distributed=True,
             scale=scale,
             seed=seed,
+            jobs=_jobs,
         ),
     )
 
 
 def _plog_single(scale: Scale, seed: int):
     return _cached(
-        ("plog_single", scale.name, seed),
+        ("plog_single", scale.cache_key(), seed),
         lambda: plog_experiments.run_scaling_sweep(
-            plog_experiments.SINGLE_SWEEP, n_brokers=1, scale=scale, seed=seed
+            plog_experiments.SINGLE_SWEEP,
+            n_brokers=1,
+            scale=scale,
+            seed=seed,
+            jobs=_jobs,
         ),
     )
 
 
 def _plog_spread(scale: Scale, seed: int):
     return _cached(
-        ("plog_spread", scale.name, seed),
+        ("plog_spread", scale.cache_key(), seed),
         lambda: plog_experiments.run_scaling_sweep(
-            plog_experiments.SPREAD_SWEEP, n_brokers=4, scale=scale, seed=seed
+            plog_experiments.SPREAD_SWEEP,
+            n_brokers=4,
+            scale=scale,
+            seed=seed,
+            jobs=_jobs,
         ),
     )
 
@@ -968,13 +1063,18 @@ def run(
     scale: Optional[Scale | str] = None,
     seed: int = 1,
     fault_plan: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> ExperimentResult:
     """Run one experiment by id; returns its :class:`ExperimentResult`.
 
     ``fault_plan`` selects a named fault schedule for the chaos experiments
-    and is an error for any other experiment id.
+    and is an error for any other experiment id.  ``jobs`` fans the sweep
+    points out over that many worker processes (default: ``$REPRO_JOBS``,
+    else serial — results are identical either way); ``cache=False``
+    bypasses both sweep-cache tiers for this call.
     """
-    global _active_fault_plan
+    global _active_fault_plan, _jobs, _cache_enabled
     if isinstance(scale, str):
         scale = Scale.named(scale)
     scale = scale or Scale.from_env()
@@ -984,20 +1084,26 @@ def run(
         raise ValueError(
             f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}"
         ) from None
-    if experiment_id in CHAOS_EXPERIMENTS:
-        plan = fault_plan or _CHAOS_DEFAULT_PLAN[experiment_id]
-        previous = _active_fault_plan
-        _active_fault_plan = plan
-        try:
-            return fn(scale, seed, fault_plan=plan)
-        finally:
-            _active_fault_plan = previous
-    if fault_plan is not None:
+    if experiment_id not in CHAOS_EXPERIMENTS and fault_plan is not None:
         raise ValueError(
             f"--fault-plan only applies to chaos experiments "
             f"{CHAOS_EXPERIMENTS}, not {experiment_id!r}"
         )
-    return fn(scale, seed)
+    previous_jobs, _jobs = _jobs, resolve_jobs(jobs)
+    previous_cache, _cache_enabled = _cache_enabled, _cache_enabled and cache
+    try:
+        if experiment_id in CHAOS_EXPERIMENTS:
+            plan = fault_plan or _CHAOS_DEFAULT_PLAN[experiment_id]
+            previous_plan = _active_fault_plan
+            _active_fault_plan = plan
+            try:
+                return fn(scale, seed, fault_plan=plan)
+            finally:
+                _active_fault_plan = previous_plan
+        return fn(scale, seed)
+    finally:
+        _jobs = previous_jobs
+        _cache_enabled = previous_cache
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -1016,6 +1122,19 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--scale", default=None, choices=["bench", "smoke", "full"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep points (default: $REPRO_JOBS, else "
+        "the CPU count; 1 = serial; results are identical at any value)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the sweep cache (both the in-process and disk tiers)",
+    )
     parser.add_argument(
         "--fault-plan",
         default=None,
@@ -1051,11 +1170,17 @@ def main(argv: Optional[list[str]] = None) -> int:
 
         telemetry = Telemetry(label=" ".join(ids))
         ctx = tel_context.session(telemetry)
+    jobs = resolve_jobs(args.jobs, default=os.cpu_count() or 1)
     with ctx:
         for experiment_id in ids:
             plan = args.fault_plan if experiment_id in CHAOS_EXPERIMENTS else None
             result = run(
-                experiment_id, scale=args.scale, seed=args.seed, fault_plan=plan
+                experiment_id,
+                scale=args.scale,
+                seed=args.seed,
+                fault_plan=plan,
+                jobs=jobs,
+                cache=not args.no_cache,
             )
             print(result.render())
             print()

@@ -11,10 +11,19 @@ Lifecycle::
 Composite conditions (:class:`AnyOf` / :class:`AllOf`) build fan-in waits from
 child events, mirroring the small set of combinators middleware code actually
 needs (wait for ack *or* timeout; wait for all fragments).
+
+Hot-path note: ``callbacks`` is ``None`` both *before* any waiter registers
+(lazy — a :class:`Timeout` nobody waits on never allocates the list) and
+*after* the kernel processed the event; ``_processed`` distinguishes the two.
+Use :meth:`Event.add_callback` rather than mutating ``callbacks`` directly —
+it handles the lazy state and refuses processed events.  A bare
+``Event(sim)`` still starts with an empty list so existing
+``ev.callbacks.append(...)`` call sites keep working.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -53,6 +62,8 @@ class Event:
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         #: Callables invoked (with this event) when the event is processed.
+        #: ``None`` once processed — or, on lazy subclasses, before the first
+        #: :meth:`add_callback`.
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: bool = True
@@ -81,6 +92,21 @@ class Event:
         if self._value is _PENDING:
             raise RuntimeError(f"{self!r} has not been triggered")
         return self._value
+
+    # -- callbacks ---------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when this event is processed.
+
+        Allocates the callback list on first use (the common yield-timeout
+        case never needs one when nothing waits).
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            if self._processed:
+                raise RuntimeError(f"{self!r} already processed")
+            self.callbacks = [fn]
+        else:
+            callbacks.append(fn)
 
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
@@ -118,19 +144,25 @@ class Event:
 
     # -- kernel hook -------------------------------------------------------
     def _process(self) -> None:
-        """Run callbacks.  Called exactly once by the kernel."""
+        """Run callbacks.  Called exactly once by the kernel.
+
+        The kernel's ``run`` loop inlines this body; keep the two in sync.
+        """
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
 
 class Timeout(Event):
     """An event that fires ``delay`` units after creation.
 
     The workhorse of every timed behaviour in the models: link serialisation
-    time, CPU service time, publish intervals, poll intervals.
+    time, CPU service time, publish intervals, poll intervals.  It is born
+    triggered, so the constructor writes its slots directly (no ``_PENDING``
+    churn) and leaves ``callbacks`` unallocated until a waiter registers.
     """
 
     __slots__ = ("delay",)
@@ -138,11 +170,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative Timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = None
         self._value = value
-        sim._schedule(self, delay)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        # Inlined sim._schedule (hot: one Timeout per timed behaviour);
+        # delay was validated above.
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, self))
 
 
 class Condition(Event):
@@ -150,46 +188,52 @@ class Condition(Event):
 
     The condition's value is a dict mapping each *processed* child event to
     its value, so waiters can see which of the children fired.
+
+    ``needed`` is the count of processed children that triggers the
+    condition — the fan-in test is a single integer compare on the hot path
+    rather than a predicate call.
     """
 
-    __slots__ = ("_events", "_count", "_evaluate")
+    __slots__ = ("_events", "_count", "_needed")
 
     def __init__(
         self,
         sim: "Simulator",
-        evaluate: Callable[[int, int], bool],
+        needed: int,
         events: Iterable[Event],
     ):
         super().__init__(sim)
         self._events = tuple(events)
         self._count = 0
-        self._evaluate = evaluate
+        self._needed = needed
         for event in self._events:
             if event.sim is not sim:
                 raise ValueError("cannot mix events from different simulators")
-        if self._evaluate(len(self._events), 0):
+        if self._needed <= 0:
             # Degenerate condition (e.g. AllOf over zero events).
             self.succeed(self._collect())
             return
+        on_child = self._on_child
         for event in self._events:
             if event._processed:
-                self._on_child(event)
+                on_child(event)
+                if self._value is not _PENDING:
+                    return  # already triggered; don't register on the rest
             else:
-                assert event.callbacks is not None
-                event.callbacks.append(self._on_child)
+                event.add_callback(on_child)
 
     def _collect(self) -> dict[Event, Any]:
         return {e: e._value for e in self._events if e._processed and e._ok}
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event.defuse()
             self.fail(event._value)
             return
         self._count += 1
-        if self._evaluate(len(self._events), self._count):
+        if self._count >= self._needed:
             self.succeed(self._collect())
 
 
@@ -199,7 +243,8 @@ class AnyOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim, lambda total, done: done > 0 or total == 0, events)
+        events = tuple(events)
+        super().__init__(sim, 1 if events else 0, events)
 
 
 class AllOf(Condition):
@@ -208,4 +253,5 @@ class AllOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim, lambda total, done: done == total, events)
+        events = tuple(events)
+        super().__init__(sim, len(events), events)

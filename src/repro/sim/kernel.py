@@ -2,11 +2,19 @@
 
 One :class:`Simulator` instance owns all simulated state for an experiment.
 Time is a float in **seconds** of simulated time throughout :mod:`repro`.
+
+The ``run``/``run_process`` loops inline the pop-and-process step (the body
+of :meth:`Simulator.step` and :meth:`repro.sim.events.Event._process`) with
+the heap, the pop function and the queue bound to locals: every paper-scale
+experiment is bounded by this loop, and the per-event attribute lookups and
+method-call frames were its largest cost.  Semantics — tie-break order,
+failure surfacing, interrupt behaviour — are identical to the readable
+:meth:`step` form, which remains the single-step API.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -34,6 +42,8 @@ class Simulator:
     (a monotone sequence number breaks ties), which makes the simulation
     fully deterministic without relying on heap stability.
     """
+
+    __slots__ = ("rng", "_now", "_queue", "_seq", "_active_process")
 
     def __init__(self, seed: int = 0):
         self.rng = RngStreams(seed)
@@ -69,8 +79,24 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` seconds from now.
+
+        Inlines ``Timeout.__init__`` (kept in sync) to save a call frame —
+        this factory is the single most-called constructor in a run.
+        """
+        if delay < 0:
+            raise ValueError(f"negative Timeout delay {delay!r}")
+        t = Timeout.__new__(Timeout)
+        t.sim = self
+        t.callbacks = None
+        t._value = value
+        t._ok = True
+        t._processed = False
+        t._defused = False
+        t.delay = delay
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, seq, t))
+        return t
 
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None
@@ -91,16 +117,15 @@ class Simulator:
         if when < self._now:
             raise ValueError(f"call_at({when}) is in the past (now={self._now})")
         ev = self.timeout(when - self._now)
-        assert ev.callbacks is not None
-        ev.callbacks.append(lambda _e: fn())
+        ev.add_callback(lambda _e: fn())
         return ev
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule event in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, seq, event))
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` when the queue is empty."""
@@ -109,7 +134,7 @@ class Simulator:
     def step(self) -> None:
         """Process exactly one event."""
         try:
-            self._now, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         event._process()
@@ -125,15 +150,48 @@ class Simulator:
         even if the last event fires earlier, so back-to-back ``run`` calls
         compose predictably.
         """
+        queue = self._queue
+        pop = heappop
         if until is None:
-            while self._queue:
-                self.step()
+            now = self._now
+            while queue:
+                # Inlined step()/Event._process(): see module docstring.
+                # ``self._now`` is synced lazily — only before user code
+                # (callbacks, exceptions) can observe it; ``now`` is
+                # authoritative inside the loop.
+                now, _, event = pop(queue)
+                callbacks = event.callbacks
+                event._processed = True
+                if callbacks is not None:
+                    self._now = now
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                elif not event._ok and not event._defused:
+                    self._now = now
+                    raise event._value
+            self._now = now
             return
         if until < self._now:
             raise ValueError(f"run(until={until}) is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= until:
-            self.step()
-        self._now = max(self._now, until)
+        now = self._now
+        while queue and queue[0][0] <= until:
+            now, _, event = pop(queue)
+            callbacks = event.callbacks
+            event._processed = True
+            if callbacks is not None:
+                self._now = now
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            elif not event._ok and not event._defused:
+                self._now = now
+                raise event._value
+        self._now = max(now, until)
 
     def run_process(self, generator: Generator[Event, Any, Any]) -> Any:
         """Convenience: run ``generator`` as a process to completion.
@@ -141,9 +199,19 @@ class Simulator:
         Returns the process's return value.  Used heavily in tests.
         """
         proc = self.process(generator)
-        while self._queue and not proc.processed:
-            self.step()
-        if not proc.processed:
+        queue = self._queue
+        pop = heappop
+        while queue and not proc._processed:
+            self._now, _, event = pop(queue)
+            callbacks = event.callbacks
+            event._processed = True
+            if callbacks is not None:
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+        if not proc._processed:
             raise RuntimeError("process did not finish (deadlock or starvation)")
         if not proc.ok:
             raise proc.value

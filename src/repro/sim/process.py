@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """A running coroutine inside the simulation."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(
         self,
@@ -32,13 +32,16 @@ class Process(Event):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         super().__init__(sim)
         self._generator = generator
+        # Bound methods cached once: the resume loop calls one of them per
+        # context switch, and the attribute chain is measurable at scale.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: Event this process is currently waiting on (None when runnable).
         self._target: Optional[Event] = None
         # Kick off at the current time via an immediately-scheduled event.
         init = Event(sim)
-        assert init.callbacks is not None
-        init.callbacks.append(self._resume)
+        init.callbacks = [self._resume]
         init.succeed()
 
     @property
@@ -64,8 +67,7 @@ class Process(Event):
             except ValueError:
                 pass
         fault = Event(self.sim)
-        assert fault.callbacks is not None
-        fault.callbacks.append(self._resume)
+        fault.callbacks = [self._resume]
         fault.fail(Interrupt(cause))
         fault.defuse()
 
@@ -73,16 +75,17 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._target = None
         sim = self.sim
+        send = self._send
         prev, sim._active_process = sim._active_process, self
         try:
             while True:
                 try:
                     if event._ok:
-                        yielded = self._generator.send(event._value)
+                        yielded = send(event._value)
                     else:
                         # Mark handled: the exception reaches the generator.
                         event.defuse()
-                        yielded = self._generator.throw(event._value)
+                        yielded = self._throw(event._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     return
@@ -110,8 +113,12 @@ class Process(Event):
                     event = yielded
                     continue
                 self._target = yielded
-                assert yielded.callbacks is not None
-                yielded.callbacks.append(self._resume)
+                # Inlined Event.add_callback (hot: one call per suspension).
+                callbacks = yielded.callbacks
+                if callbacks is None:
+                    yielded.callbacks = [self._resume]
+                else:
+                    callbacks.append(self._resume)
                 return
         finally:
             sim._active_process = prev

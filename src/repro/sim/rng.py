@@ -16,7 +16,10 @@ class RngStreams:
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
-        self._root = np.random.SeedSequence(self.seed)
+        # SeedSequence construction is ~1 ms; built lazily so simulations
+        # that never draw randomness (kernel benchmarks, pure-timeout tests)
+        # don't pay for it.
+        self._root: np.random.SeedSequence | None = None
         self._streams: dict[str, np.random.Generator] = {}
 
     def stream(self, name: str) -> np.random.Generator:
@@ -27,8 +30,11 @@ class RngStreams:
         """
         gen = self._streams.get(name)
         if gen is None:
+            root = self._root
+            if root is None:
+                root = self._root = np.random.SeedSequence(self.seed)
             child = np.random.SeedSequence(
-                entropy=self._root.entropy,
+                entropy=root.entropy,
                 spawn_key=(_stable_hash(name),),
             )
             gen = np.random.default_rng(child)

@@ -37,6 +37,11 @@ from repro.telemetry.metrics import (
     P2Quantile,
     geometric_buckets,
 )
+from repro.telemetry.merge import (
+    ImportedSampler,
+    export_telemetry,
+    merge_telemetry,
+)
 from repro.telemetry.samplers import ResourceSample, ResourceSampler
 from repro.telemetry.spans import PHASES, Span, Tracer, phase_breakdown
 
@@ -50,6 +55,7 @@ __all__ = [
     "FaultWindow",
     "Gauge",
     "Histogram",
+    "ImportedSampler",
     "MetricKey",
     "MetricsRegistry",
     "P2Quantile",
@@ -62,7 +68,9 @@ __all__ = [
     "activate",
     "current",
     "deactivate",
+    "export_telemetry",
     "geometric_buckets",
+    "merge_telemetry",
     "phase_breakdown",
     "session",
 ]

@@ -71,6 +71,10 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += n
 
+    def merge(self, other: "Counter") -> None:
+        """Fold a fan-out worker's counter into this one (exact)."""
+        self.value += other.value
+
     def to_dict(self) -> dict:
         return {"value": self.value}
 
@@ -99,6 +103,19 @@ class Gauge:
     @property
     def mean(self) -> float:
         return self._total / self.n if self.n else 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold a worker's gauge in: n/total/min/max are exact; ``value``
+        (last set) takes the merged-in side's, treating it as later."""
+        if other.n == 0:
+            return
+        self.n += other.n
+        self._total += other._total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.value = other.value
 
     def to_dict(self) -> dict:
         return {
@@ -177,6 +194,70 @@ class P2Quantile:
         h, n = self._heights, self._pos
         j = i + int(d)
         return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def merge(self, other: "P2Quantile") -> None:
+        """Fold another estimator of the same quantile into this one.
+
+        Exact when either side still holds raw samples (< 5 observations):
+        the samples are simply replayed.  When both sides have collapsed to
+        markers the merge is approximate — extreme markers take min/max,
+        interior marker heights combine by observation-weighted average and
+        positions/desired positions are rebuilt for the combined count.  The
+        companion fixed-bucket histogram merges exactly, so bucketed
+        quantiles stay within their documented error bound regardless.
+        """
+        if other.q != self.q:
+            raise ValueError(f"cannot merge p{other.q} into p{self.q}")
+        if other.n == 0:
+            return
+        if other._init is not None:
+            for x in other._init:
+                self.observe(x)
+            return
+        if self._init is not None:
+            mine = list(self._init)
+            self.n = other.n
+            self._init = None  # type: ignore[assignment]
+            self._heights = list(other._heights)
+            self._pos = list(other._pos)
+            self._want = list(other._want)
+            for x in mine:
+                self.observe(x)
+            return
+        n1, n2 = self.n, other.n
+        total = n1 + n2
+        h1, h2 = self._heights, other._heights
+        heights = [
+            min(h1[0], h2[0]),
+            (h1[1] * n1 + h2[1] * n2) / total,
+            (h1[2] * n1 + h2[2] * n2) / total,
+            (h1[3] * n1 + h2[3] * n2) / total,
+            max(h1[4], h2[4]),
+        ]
+        for i in range(1, 5):
+            if heights[i] < heights[i - 1]:
+                heights[i] = heights[i - 1]
+        # Marker positions: each side's interior position approximates the
+        # count of its observations at or below that marker, so the sums
+        # (shifted for the shared 1-based origin) carry over; endpoints are
+        # pinned at 1 and the combined count, the P² invariant.
+        pos = [1.0, 0.0, 0.0, 0.0, float(total)]
+        for i in (1, 2, 3):
+            pos[i] = self._pos[i] + other._pos[i] - 1.0
+        for i in (1, 2, 3):  # re-impose strict ordering with unit gaps
+            if pos[i] <= pos[i - 1]:
+                pos[i] = pos[i - 1] + 1.0
+        for i in (3, 2, 1):
+            if pos[i] >= pos[i + 1]:
+                pos[i] = pos[i + 1] - 1.0
+        q = self.q
+        base = (1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0)
+        self.n = total
+        self._heights = heights
+        self._pos = pos
+        self._want = [
+            base[i] + (total - 5) * self._dwant[i] for i in range(5)
+        ]
 
     @property
     def value(self) -> float:
@@ -270,6 +351,30 @@ class Histogram:
         """The P² estimate for a tracked quantile."""
         return self._p2[q].value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold a worker's histogram in.
+
+        Bucket counts, n, total and min/max merge exactly (bounds must
+        match); the embedded P² estimators merge via
+        :meth:`P2Quantile.merge` (approximate once both sides have 5+
+        observations).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        if other.n == 0:
+            return
+        self.n += other.n
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        for q, estimator in self._p2.items():
+            theirs = other._p2.get(q)
+            if theirs is not None:
+                estimator.merge(theirs)
+
     @property
     def tracked_quantiles(self) -> tuple[float, ...]:
         return tuple(self._p2)
@@ -341,6 +446,24 @@ class MetricsRegistry:
         if not isinstance(instrument, Histogram):
             raise TypeError(f"{middleware}/{component}/{name} is not a histogram")
         return instrument
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold every instrument of ``other`` into this registry.
+
+        Instruments absent here are adopted by reference (``other`` is a
+        discarded worker export, never used again); same-key instruments
+        must agree on kind and merge via their ``merge`` methods.
+        """
+        for key, instrument in other:
+            mine = self._metrics.get(key)
+            if mine is None:
+                self._metrics[key] = instrument
+                continue
+            if mine.kind != instrument.kind:  # type: ignore[attr-defined]
+                raise TypeError(
+                    f"cannot merge {instrument.kind} into {mine.kind} at {key}"  # type: ignore[attr-defined]
+                )
+            mine.merge(instrument)  # type: ignore[attr-defined]
 
     def __iter__(self) -> Iterator[tuple[MetricKey, object]]:
         return iter(sorted(self._metrics.items(), key=lambda kv: str(kv[0])))

@@ -159,6 +159,19 @@ class Tracer:
             if id(r) in self._span_by_record
         ]
 
+    def adopt(self, book: "RecordBook", pairs: Iterable[tuple[int, Span]]) -> None:
+        """Register externally materialised spans for ``book``'s records.
+
+        ``pairs`` are ``(record_index, span)`` built by a fan-out worker's
+        own :meth:`bind_book`; the record identities changed when the book
+        crossed the process boundary, so :meth:`spans_for_book` needs the
+        mapping rebuilt against the unpickled records.  The spans themselves
+        must be appended to :attr:`spans` by the caller (which controls
+        cross-book ordering)."""
+        records = book.records
+        for record_index, span in pairs:
+            self._span_by_record[id(records[record_index])] = span
+
 
 def phase_breakdown(
     spans: Iterable[Span], since: float = 0.0

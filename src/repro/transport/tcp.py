@@ -75,8 +75,7 @@ class TcpChannel(Channel):
             self._arrived[seq] = (payload, nbytes, sent_at, done)
             self._flush_in_order()
 
-        assert wire_ev.callbacks is not None
-        wire_ev.callbacks.append(on_wire)
+        wire_ev.add_callback(on_wire)
         if False:  # pragma: no cover - keeps this a generator function
             yield
         return done

@@ -108,8 +108,7 @@ class UdpChannel(Channel):
                 peer._deliver(payload, nbytes, sent_at)
             done.succeed(self.sim.now - sent_at)
 
-        assert wire_ev.callbacks is not None
-        wire_ev.callbacks.append(on_wire)
+        wire_ev.add_callback(on_wire)
         return done
 
     def _send_acked(self, payload: Any, nbytes: float) -> Generator[Any, Any, Event]:
@@ -162,8 +161,7 @@ class UdpChannel(Channel):
 
             self.sim.process(ack_job(), name=f"{self.label}.ack")
 
-        assert delivery.callbacks is not None
-        delivery.callbacks.append(on_delivered)
+        delivery.add_callback(on_delivered)
         return ack_received
 
 

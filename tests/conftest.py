@@ -1,0 +1,29 @@
+"""Suite-wide fixtures.
+
+The sweep cache's disk tier (``repro.harness.cache``) defaults to
+``.repro-cache/`` under the working directory; tests must neither read a
+developer's warm cache (entries could predate a local edit only in their
+working tree, not in the salt-hashed installed sources) nor litter the
+repository, so the whole session is pointed at a throwaway directory.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    previous = {
+        name: os.environ.get(name) for name in ("REPRO_CACHE_DIR", "REPRO_JOBS")
+    }
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    # An inherited REPRO_JOBS would silently fan tests out; tests opt into
+    # parallelism explicitly.
+    os.environ.pop("REPRO_JOBS", None)
+    yield
+    for name, value in previous.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value

@@ -1,0 +1,229 @@
+"""Parallel sweep execution and the two-tier sweep cache.
+
+The headline guarantees:
+
+* a sweep fanned out over worker processes is **byte-identical** to the
+  serial sweep (record books pickle to the same bytes, figure tables
+  match);
+* the in-memory tier is LRU-bounded;
+* the disk tier is namespaced by fault plan and code version, and
+  ``clear_cache`` / ``cache=False`` really do bypass it.
+"""
+
+import pickle
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.cache import DiskCache
+from repro.harness.narada_experiments import run_scaling_sweep
+from repro.harness.parallel import map_points, resolve_jobs
+from repro.harness.scale import Scale
+from repro.telemetry import Telemetry
+from repro.telemetry import context as tel_context
+
+#: Tiny scale: parallel tests run whole sweeps several times over.
+TINY = Scale(
+    name="tiny",
+    duration=6.0,
+    creation_interval_narada=0.005,
+    creation_interval_rgma=0.005,
+    warmup=(0.5, 1.0),
+    drain=4.0,
+)
+
+SWEEP = (20, 40)
+
+
+@pytest.fixture(autouse=True)
+def clear_runner_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+# ------------------------------------------------------------- resolve_jobs
+
+def test_resolve_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert resolve_jobs(3) == 3
+
+
+def test_resolve_jobs_env_then_default(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None, default=2) == 5
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs(None, default=2) == 2
+    assert resolve_jobs(None) == 1
+
+
+def test_resolve_jobs_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+# -------------------------------------------------------------- determinism
+
+def test_parallel_sweep_byte_identical_to_serial():
+    serial = run_scaling_sweep(SWEEP, dbn=False, scale=TINY, seed=9, jobs=1)
+    parallel = run_scaling_sweep(SWEEP, dbn=False, scale=TINY, seed=9, jobs=4)
+    assert list(serial) == list(parallel) == list(SWEEP)
+    for n in SWEEP:
+        assert pickle.dumps(serial[n].book) == pickle.dumps(parallel[n].book)
+        assert serial[n].mean_rtt_ms == parallel[n].mean_rtt_ms
+        assert serial[n].vmstat == parallel[n].vmstat
+
+
+def test_fig7_table_identical_serial_vs_parallel(monkeypatch):
+    monkeypatch.setattr(
+        "repro.harness.narada_experiments.SINGLE_SWEEP", SWEEP
+    )
+    monkeypatch.setattr(
+        "repro.harness.narada_experiments.DBN_SWEEP", (30,)
+    )
+    serial = runner.run("fig7", scale=TINY, seed=9, jobs=1, cache=False)
+    parallel = runner.run("fig7", scale=TINY, seed=9, jobs=3, cache=False)
+    assert serial.series == parallel.series
+    assert serial.notes == parallel.notes
+
+
+def test_map_points_preserves_input_order():
+    points = [
+        dict(connections=n, scale=TINY, seed=9) for n in (40, 20, 30)
+    ]
+    results = map_points(
+        "repro.harness.narada_experiments", "narada_run", points, jobs=3
+    )
+    assert [r.connections for r in results] == [40, 20, 30]
+
+
+def test_parallel_merges_telemetry_like_serial():
+    tel_parallel = Telemetry("parallel")
+    with tel_context.session(tel_parallel):
+        parallel = run_scaling_sweep(
+            SWEEP, dbn=False, scale=TINY, seed=11, jobs=2
+        )
+    tel_serial = Telemetry("serial")
+    with tel_context.session(tel_serial):
+        serial = run_scaling_sweep(
+            SWEEP, dbn=False, scale=TINY, seed=11, jobs=1
+        )
+    assert [s.to_dict() for s in tel_parallel.tracer.spans] == [
+        s.to_dict() for s in tel_serial.tracer.spans
+    ]
+    # Spans re-bind to the *unpickled* books, so span-based decompositions
+    # (fig15-style) keep working after fan-out.
+    for n in SWEEP:
+        spans = tel_parallel.spans_for_book(parallel[n].book)
+        assert len(spans) == len(parallel[n].book.records)
+        assert len(spans) == len(tel_serial.spans_for_book(serial[n].book))
+    counters = lambda tel: {
+        str(key): instrument.value
+        for key, instrument in tel.metrics
+        if instrument.kind == "counter"
+    }
+    assert counters(tel_parallel) == counters(tel_serial)
+    assert len(tel_parallel.samplers) == len(tel_serial.samplers)
+    assert [s.summary() for s in tel_parallel.samplers] == [
+        s.summary() for s in tel_serial.samplers
+    ]
+
+
+# ------------------------------------------------------------ memory tier
+
+def test_memory_tier_is_lru_bounded(monkeypatch):
+    monkeypatch.setattr(runner, "SWEEP_CACHE_MAX", 2)
+    # An active session makes _cached skip the disk tier, isolating the LRU.
+    with tel_context.session(Telemetry("lru")):
+        calls = []
+
+        def builder(tag):
+            def build():
+                calls.append(tag)
+                return tag
+
+            return build
+
+        runner._cached(("a",), builder("a"))
+        runner._cached(("b",), builder("b"))
+        runner._cached(("a",), builder("a2"))  # hit; refreshes a
+        runner._cached(("c",), builder("c"))  # evicts b (LRU)
+        runner._cached(("a",), builder("a3"))  # still cached
+        runner._cached(("b",), builder("b2"))  # rebuilt
+        assert calls == ["a", "b", "c", "b2"]
+
+
+def test_cache_disabled_calls_builder_every_time(monkeypatch):
+    monkeypatch.setattr(runner, "_cache_enabled", False)
+    calls = []
+    for _ in range(2):
+        runner._cached(("k",), lambda: calls.append(1))
+    assert len(calls) == 2
+
+
+# -------------------------------------------------------------- disk tier
+
+def test_disk_tier_survives_memory_clear():
+    built = []
+
+    def build():
+        built.append(1)
+        return {"value": 42}
+
+    key = ("disk_roundtrip", 1)
+    assert runner._cached(key, build) == {"value": 42}
+    runner._sweep_cache.clear()  # drop the memory tier only
+    assert runner._cached(key, build) == {"value": 42}
+    assert len(built) == 1  # second lookup came from disk
+
+
+def test_fault_plan_namespaces_disk_entries(monkeypatch):
+    """A fault-plan sweep must never satisfy a fault-free lookup."""
+    key = ("chaos_namespacing", 5)
+    monkeypatch.setattr(runner, "_active_fault_plan", "loss_burst")
+    assert runner._cached(key, lambda: "faulted") == "faulted"
+
+    monkeypatch.setattr(runner, "_active_fault_plan", None)
+    runner._sweep_cache.clear()  # force both lookups to the disk tier
+    assert runner._cached(key, lambda: "clean") == "clean"
+
+    # ... while the same plan does hit its own entry.
+    monkeypatch.setattr(runner, "_active_fault_plan", "loss_burst")
+    runner._sweep_cache.clear()
+    assert runner._cached(key, lambda: "rebuilt?") == "faulted"
+
+
+def test_telemetry_session_bypasses_disk_tier():
+    """Disk entries carry no live spans, so --trace runs must not use them."""
+    key = ("telemetry_bypass", 3)
+    assert runner._cached(key, lambda: "cold") == "cold"  # seeds the disk
+    runner._sweep_cache.clear()
+    with tel_context.session(Telemetry("probe")):
+        assert runner._cached(key, lambda: "live") == "live"
+    # Sessionless lookups still see the sessionless entry.
+    runner._sweep_cache.clear()
+    assert runner._cached(key, lambda: "rebuilt?") == "cold"
+
+
+def test_clear_cache_empties_both_tiers():
+    key = ("clear_both", 7)
+    runner._cached(key, lambda: "warm")
+    assert DiskCache().get(runner._disk_key(key)) == "warm"
+    runner.clear_cache()
+    assert runner._sweep_cache == {}
+    assert DiskCache().get(runner._disk_key(key)) is None
+
+
+def test_corrupt_disk_entry_is_a_miss():
+    cache = DiskCache()
+    key = ("corrupt", 1)
+    cache.put(key, "good")
+    cache.path_for(key).write_bytes(b"\x80garbage")
+    assert cache.get(key) is None
+    assert not cache.path_for(key).exists()  # dropped, not retried forever
+
+
+def test_scale_cache_key_distinguishes_same_name():
+    fast = Scale("bench", 1.0, 0.01, 0.01, (0.1, 0.2), 1.0)
+    assert fast.cache_key() != Scale.bench().cache_key()
+    assert Scale.bench().cache_key() == Scale.bench().cache_key()

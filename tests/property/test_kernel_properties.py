@@ -17,7 +17,7 @@ def test_time_never_goes_backwards(delays):
     observed = []
     for d in delays:
         ev = sim.timeout(d)
-        ev.callbacks.append(lambda e: observed.append(sim.now))
+        ev.add_callback(lambda e: observed.append(sim.now))
     sim.run()
     assert observed == sorted(observed)
     assert sim.now == max(delays)

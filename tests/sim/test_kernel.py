@@ -28,7 +28,7 @@ def test_run_until_does_not_process_later_events():
     sim = Simulator()
     fired = []
     ev = sim.timeout(5.0)
-    ev.callbacks.append(lambda e: fired.append(sim.now))
+    ev.add_callback(lambda e: fired.append(sim.now))
     sim.run(until=4.0)
     assert fired == []
     assert sim.now == 4.0
@@ -54,7 +54,7 @@ def test_same_time_events_fifo_order():
     order = []
     for i in range(10):
         ev = sim.timeout(1.0)
-        ev.callbacks.append(lambda e, i=i: order.append(i))
+        ev.add_callback(lambda e, i=i: order.append(i))
     sim.run()
     assert order == list(range(10))
 

@@ -1,0 +1,230 @@
+"""Instrument merging and the export/merge fan-out round trip."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.records import RecordBook
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    P2Quantile,
+    Telemetry,
+    export_telemetry,
+    merge_telemetry,
+)
+from repro.telemetry.merge import ImportedSampler
+from repro.telemetry.samplers import ResourceSample
+
+
+# ---------------------------------------------------------------- counters
+
+def test_counter_merge_is_exact():
+    a, b = Counter(), Counter()
+    a.inc(3)
+    b.inc(39)
+    a.merge(b)
+    assert a.value == 42
+
+
+def test_gauge_merge_combines_extremes_and_mean():
+    a, b = Gauge(), Gauge()
+    for v in (2.0, 4.0):
+        a.set(v)
+    for v in (1.0, 9.0):
+        b.set(v)
+    a.merge(b)
+    assert a.n == 4
+    assert a.min == 1.0
+    assert a.max == 9.0
+    assert a.mean == pytest.approx(4.0)
+    assert a.value == 9.0  # merged-in side counts as later
+
+
+def test_gauge_merge_empty_other_is_noop():
+    a, b = Gauge(), Gauge()
+    a.set(5.0)
+    a.merge(b)
+    assert (a.n, a.value, a.min, a.max) == (1, 5.0, 5.0, 5.0)
+
+
+# -------------------------------------------------------------- histograms
+
+def _split_merge(values, split):
+    whole = Histogram()
+    for v in values:
+        whole.observe(v)
+    left, right = Histogram(), Histogram()
+    for v in values[:split]:
+        left.observe(v)
+    for v in values[split:]:
+        right.observe(v)
+    left.merge(right)
+    return whole, left
+
+
+def test_histogram_merge_buckets_exact():
+    rng = np.random.default_rng(7)
+    values = list(rng.lognormal(mean=2.0, sigma=1.0, size=400))
+    whole, merged = _split_merge(values, 173)
+    assert merged.n == whole.n
+    assert merged.counts == whole.counts
+    assert merged.total == pytest.approx(whole.total)
+    assert merged.min == whole.min
+    assert merged.max == whole.max
+    # Exact bucket counts mean exact bucketed quantiles.
+    for q in (0.5, 0.9, 0.99):
+        assert merged.quantile(q) == whole.quantile(q)
+
+
+def test_histogram_merge_p2_quantiles_close_to_truth():
+    rng = np.random.default_rng(21)
+    values = list(rng.exponential(10.0, size=2000))
+    _, merged = _split_merge(values, 900)
+    for q in (0.5, 0.9, 0.95):
+        truth = float(np.percentile(values, q * 100))
+        assert merged.quantile_p2(q) == pytest.approx(truth, rel=0.25)
+
+
+def test_histogram_merge_rejects_mismatched_buckets():
+    a = Histogram(buckets=(1.0, 2.0))
+    b = Histogram(buckets=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_p2_merge_exact_when_either_side_tiny():
+    # Merging a raw-sample side replays its observations, so the result is
+    # bit-identical to one estimator that saw the same stream in order.
+    a, b = P2Quantile(0.5), P2Quantile(0.5)
+    for v in (1.0, 2.0, 3.0):
+        a.observe(v)
+    for v in (4.0, 5.0, 6.0, 7.0):
+        b.observe(v)
+    a.merge(b)
+    reference = P2Quantile(0.5)
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0):
+        reference.observe(v)
+    assert a.n == reference.n == 7
+    assert a.value == reference.value
+    assert a._heights == reference._heights
+    assert a._pos == reference._pos
+
+    # Tiny self, marker-collapsed other: adopt-and-replay, still defined.
+    c = P2Quantile(0.5)
+    c.observe(100.0)
+    c.merge(reference)
+    assert c.n == 8
+    assert not math.isnan(c.value)
+
+
+def test_p2_merge_empty_and_mismatched():
+    a, b = P2Quantile(0.9), P2Quantile(0.9)
+    a.observe(1.0)
+    a.merge(b)  # empty other: no-op
+    assert a.n == 1
+    with pytest.raises(ValueError):
+        a.merge(P2Quantile(0.5))
+
+
+def test_p2_merge_marker_invariants_hold():
+    rng = np.random.default_rng(3)
+    a, b = P2Quantile(0.95), P2Quantile(0.95)
+    for v in rng.normal(50.0, 5.0, size=200):
+        a.observe(float(v))
+    for v in rng.normal(70.0, 5.0, size=300):
+        b.observe(float(v))
+    a.merge(b)
+    assert a.n == 500
+    assert a._heights == sorted(a._heights)
+    assert a._pos[0] == 1.0
+    assert a._pos[-1] == 500.0
+    assert all(a._pos[i] < a._pos[i + 1] for i in range(4))
+    # Future observations keep working on the merged state.
+    for v in rng.normal(60.0, 5.0, size=200):
+        a.observe(float(v))
+    assert a.n == 700
+    assert not math.isnan(a.value)
+
+
+# ---------------------------------------------------------- export / merge
+
+def _worker_session():
+    """A tiny 'worker-side' session: one observed book + assorted metrics."""
+    telemetry = Telemetry("worker")
+    book = RecordBook()
+    for i in range(3):
+        record = book.new_record(1, i, float(i))
+        record.t_after_send = float(i) + 0.001
+        record.t_arrived = float(i) + 0.002
+        record.t_received = float(i) + 0.003
+        telemetry.mark(record, "broker_in", float(i) + 0.0015, "plog", "b1")
+    telemetry.fault_window("packet_loss", 0.5, 1.5, "lan")
+    telemetry.observe_run(book, middleware="plog", label="tiny run")
+    telemetry.metrics.gauge("plog", "b1", "depth").set(4.0)
+    telemetry.samplers.append(
+        ImportedSampler(
+            node="hydra1",
+            middleware="plog",
+            interval=1.0,
+            samples=[ResourceSample(1.0, 0.75, 1e6), ResourceSample(2.0, 0.5, 3e6)],
+        )
+    )
+    return telemetry, book
+
+
+def test_export_merge_round_trip_rebinds_spans():
+    telemetry, book = _worker_session()
+    payload = pickle.dumps(
+        (book, export_telemetry(telemetry, books=[book]))
+    )
+    new_book, export = pickle.loads(payload)  # fresh record identities
+
+    parent = Telemetry("parent")
+    merge_telemetry(parent, export, books=[new_book])
+
+    assert len(parent.tracer.spans) == 3
+    spans = parent.spans_for_book(new_book)
+    assert len(spans) == 3
+    assert spans[0].phases["broker_in"] == pytest.approx(0.0015)
+    assert [s.seq for s in spans] == [0, 1, 2]
+    assert parent.metrics.counter("plog", "harness", "messages_delivered").value == 3
+    assert parent.metrics.gauge("plog", "b1", "depth").value == 4.0
+    assert [r["label"] for r in parent.runs] == ["tiny run"]
+    assert len(parent.fault_windows) == 1
+    assert parent.fault_windows[0].kind == "packet_loss"
+    sampler = parent.samplers[0]
+    assert sampler.node.name == "hydra1"
+    summary = sampler.summary()
+    assert summary.mean_cpu_idle_percent == pytest.approx(62.5)
+    assert summary.memory_consumption_bytes == pytest.approx(2e6)
+
+
+def test_merge_accumulates_across_workers():
+    parent = Telemetry("parent")
+    books = []
+    for _ in range(2):
+        telemetry, book = _worker_session()
+        book2, export = pickle.loads(
+            pickle.dumps((book, export_telemetry(telemetry, books=[book])))
+        )
+        merge_telemetry(parent, export, books=[book2])
+        books.append(book2)
+    assert len(parent.tracer.spans) == 6
+    assert parent.metrics.counter("plog", "harness", "messages_sent").value == 6
+    rtt = parent.metrics.histogram("plog", "harness", "rtt_ms")
+    assert rtt.n == 6
+    for book in books:
+        assert len(parent.spans_for_book(book)) == 3
+
+
+def test_merge_rejects_unknown_version_and_book_mismatch():
+    telemetry, book = _worker_session()
+    export = export_telemetry(telemetry, books=[book])
+    with pytest.raises(ValueError):
+        merge_telemetry(Telemetry("p"), {**export, "version": 99}, books=[book])
+    with pytest.raises(ValueError):
+        merge_telemetry(Telemetry("p"), export, books=[])
