@@ -1,0 +1,49 @@
+"""Hierarchical broker federation with topic-aware routing.
+
+The fix for the paper's headline NaradaBrokering deficiency — "data were
+broadcast and not diverged to different routes" (§III.E.2) — following the
+hierarchical pub/sub monitoring architecture of Zuzak et al.
+(arXiv:1209.4485): brokers form a tree; subscriptions propagate *up* as
+covering routing-table entries (one per child-subtree × topic); events
+climb to the root and descend only links with downstream subscribers.
+
+Layout:
+
+* :mod:`~repro.federation.topology` — tree shape + sweep parameters;
+* :mod:`~repro.federation.routing` — per-broker covering routing tables;
+* :mod:`~repro.federation.broker` — the federated broker (wire protocol,
+  CPU/heap charges, telemetry hop marks);
+* :mod:`~repro.federation.deployment` — cluster, tree wiring, per-link
+  traffic ledger, publisher/subscriber clients;
+* :mod:`~repro.federation.controller` — membership + parent failover,
+  built on the plog :class:`~repro.plog.replication.MembershipController`.
+"""
+
+from repro.federation.broker import FederatedBroker, FederationBrokerStats
+from repro.federation.controller import FederationController
+from repro.federation.deployment import (
+    FEDERATION_PORT,
+    FederationCluster,
+    FederationDeployment,
+    FederationSitePublishers,
+    FederationSubscriber,
+    site_topic,
+)
+from repro.federation.routing import RoutingTable
+from repro.federation.topology import FederationParams, TreeTopology, broker_name
+
+__all__ = [
+    "FEDERATION_PORT",
+    "FederatedBroker",
+    "FederationBrokerStats",
+    "FederationCluster",
+    "FederationController",
+    "FederationDeployment",
+    "FederationParams",
+    "FederationSitePublishers",
+    "FederationSubscriber",
+    "RoutingTable",
+    "TreeTopology",
+    "broker_name",
+    "site_topic",
+]

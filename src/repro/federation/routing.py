@@ -1,0 +1,115 @@
+"""Per-broker topic routing tables with covering/aggregation.
+
+Subscriptions propagate *up* the tree: when a topic first gains interest
+anywhere in a broker's subtree (a local client, or any child subtree), the
+broker advertises one ``fsub`` entry for that topic to its parent; when the
+last interest disappears it withdraws the entry.  A parent therefore stores
+at most ``children × topics`` entries — one per child-subtree × topic, not
+one per client — which is the covering/aggregation property (Zuzak et al.,
+arXiv:1209.4485 §III; SIENA-style subscription covering).
+
+The table is pure bookkeeping: transitions are reported to the caller
+(the :class:`~repro.federation.broker.FederatedBroker`), which turns them
+into wire traffic.  Keeping it side-effect free is what makes convergence
+properties unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+
+class RoutingTable:
+    """One broker's view: local subscribers and per-child-link interest."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        #: topic -> local subscription ids.
+        self._local: dict[str, set[str]] = {}
+        #: topic -> child broker names that advertised downstream interest.
+        self._downstream: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------ queries
+    def has_interest(self, topic: str) -> bool:
+        """Any interest in ``topic`` anywhere in this broker's subtree."""
+        return bool(self._local.get(topic)) or bool(self._downstream.get(topic))
+
+    def has_local(self, topic: str) -> bool:
+        return bool(self._local.get(topic))
+
+    def local_sub_ids(self, topic: str) -> tuple[str, ...]:
+        return tuple(sorted(self._local.get(topic, ())))
+
+    def children_for(self, topic: str) -> tuple[str, ...]:
+        """Child links an event on ``topic`` must be forwarded down."""
+        return tuple(sorted(self._downstream.get(topic, ())))
+
+    def topics(self) -> tuple[str, ...]:
+        """Every topic with interest in this subtree — what the broker
+        (re-)advertises to a (new) parent."""
+        return tuple(
+            sorted(set(self._local) | set(self._downstream))
+        )
+
+    def entry_count(self) -> int:
+        """Stored routing entries: one per (child-subtree × topic) plus one
+        per locally subscribed topic — the covering invariant's bound."""
+        return sum(len(kids) for kids in self._downstream.values()) + len(
+            self._local
+        )
+
+    # ---------------------------------------------------------- mutations
+    # Every mutator returns True when the *aggregate* interest for the topic
+    # transitioned (0 -> 1 on add, 1 -> 0 on remove): exactly the cases the
+    # broker must (un)advertise up its parent link.
+
+    def add_local(self, topic: str, sub_id: str) -> bool:
+        had = self.has_interest(topic)
+        self._local.setdefault(topic, set()).add(sub_id)
+        return not had
+
+    def remove_local(self, topic: str, sub_id: str) -> bool:
+        subs = self._local.get(topic)
+        if not subs or sub_id not in subs:
+            return False
+        subs.discard(sub_id)
+        if not subs:
+            del self._local[topic]
+        return not self.has_interest(topic)
+
+    def set_downstream(self, topic: str, child: str, active: bool) -> bool:
+        had = self.has_interest(topic)
+        if active:
+            self._downstream.setdefault(topic, set()).add(child)
+            return not had
+        kids = self._downstream.get(topic)
+        if kids is None or child not in kids:
+            return False
+        kids.discard(child)
+        if not kids:
+            del self._downstream[topic]
+        return had and not self.has_interest(topic)
+
+    def drop_child(self, child: str) -> tuple[str, ...]:
+        """Remove every entry for ``child`` (its link died).
+
+        Returns the topics whose aggregate interest went 1 -> 0 — the
+        withdrawals the broker must now propagate up.
+        """
+        withdrawn = []
+        for topic in sorted(self._downstream):
+            kids = self._downstream.get(topic)
+            if kids is None or child not in kids:
+                continue
+            if self.set_downstream(topic, child, False):
+                withdrawn.append(topic)
+        return tuple(withdrawn)
+
+    def clear(self) -> None:
+        """Forget everything (a crashed broker's in-memory state)."""
+        self._local.clear()
+        self._downstream.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RoutingTable {self.owner} local={sorted(self._local)} "
+            f"downstream={ {t: sorted(c) for t, c in self._downstream.items()} }>"
+        )

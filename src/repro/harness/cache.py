@@ -1,7 +1,11 @@
 """Content-addressed on-disk tier for the sweep cache.
 
 Sweeps are pure functions of ``(kind, scale, seed, fault plan)`` — and of
-the code that computes them.  The disk tier therefore keys every entry by
+the code that computes them.  Sweep kinds with extra shape parameters fold
+them into the key: federation sweeps carry one ``(broker_count,
+FederationParams.cache_key())`` pair per point — depth, fan-out and routing
+mode — so a cached broadcast-mode sweep can never satisfy a routed-mode
+lookup and trees of different shape never alias.  The disk tier therefore keys every entry by
 those inputs **plus a code-version salt**: a digest over every ``*.py``
 file under ``src/repro``.  Editing any source file changes the salt, so a
 stale cache can never satisfy a lookup from newer code; there is nothing

@@ -111,6 +111,43 @@ def fig15(
     return result
 
 
+def fig15_federation(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    n_brokers: int = 7,
+) -> ExperimentResult:
+    """Fig 15 on the federated path: RTT = PRT + PT + SRT for an event that
+    climbs a broker tree, decomposed from the same span pipeline.
+
+    PT here is multi-hop — the spans carry one ``broker_in``/``broker_out``
+    mark per federation broker traversed, so the trace exporters can break
+    the middleware residency down per hop.
+    """
+    from repro.harness.federation_experiments import federation_run
+
+    result = ExperimentResult(
+        "fig15_federation",
+        "RTT decomposition on the federated tree (cumulative ms per phase)",
+        "phase",
+        "millisecond",
+    )
+    tel, ctx = _session("fig15_federation")
+    with ctx:
+        run = federation_run(n_brokers, scale=scale, seed=seed)
+    breakdowns = _decomposition_rows(
+        result, tel, (("Federation", run, "federation"),)
+    )
+    phases = breakdowns["Federation"]
+    spans = tel.spans_for_book(run.book)
+    max_hops = max((s.hops for s in spans), default=0)
+    result.note(
+        f"{run.n_brokers} brokers: PT {phases.pt_ms:.1f} ms covers up to "
+        f"{max_hops} broker-side marks on one span (root-bound tree path); "
+        f"loss {run.loss_rate:.2%}"
+    )
+    return result
+
+
 def fig15_threeway(
     scale: Optional[Scale] = None,
     seed: int = 1,

@@ -17,7 +17,7 @@ from repro.core import ExperimentResult, RecordBook, percentile_curve, rtt_stats
 from repro.core.metrics import within_threshold
 from repro.harness.scale import Scale
 from repro.jms import AckMode
-from repro.narada import Broker, BrokerNetwork, NaradaConfig
+from repro.narada import Broker, NaradaConfig, star_network
 from repro.powergrid import FleetConfig, NaradaFleet, NaradaReceiver
 from repro.powergrid.workload import MONITORING_TOPIC
 from repro.sim import Simulator
@@ -111,15 +111,9 @@ def narada_run(
         broker.serve(transport, BROKER_PORT)
         brokers.append(broker)
     if dbn:
-        network = BrokerNetwork(sim, transport)
-
-        def build_network():
-            for broker in brokers:
-                yield from network.add_broker(broker)
-            # The paper's unit controller (hub) + three leaves.
-            yield from network.star(brokers[0].name, [b.name for b in brokers[1:]])
-
-        sim.run_process(build_network())
+        # The paper's unit controller (hub) + three leaves, via the shared
+        # single-network builder (also the federation sweep's A/B leg).
+        sim.run_process(star_network(sim, transport, brokers, hub_index=0))
 
     vmstats = {
         node_name: VmStat(sim, cluster.node(node_name)) for node_name in broker_nodes

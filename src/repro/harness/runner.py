@@ -39,6 +39,7 @@ from repro.faults import PLANS
 from repro.harness import (
     chaos_experiments,
     decomposition,
+    federation_experiments,
     narada_experiments,
     plog_experiments,
     rgma_experiments,
@@ -230,6 +231,47 @@ def _plog_spread(scale: Scale, seed: int):
     )
 
 
+def _federation_counts(scale: Scale) -> tuple[int, ...]:
+    return (
+        federation_experiments.FEDERATION_SWEEP_FULL
+        if scale.name == "full"
+        else federation_experiments.FEDERATION_SWEEP
+    )
+
+
+def _federation_leg(scale: Scale, seed: int, routing: str):
+    """One cached federation sweep leg (``"routed"`` or ``"broadcast"``).
+
+    The key folds in :func:`federation_experiments.sweep_cache_key` — one
+    ``(broker_count, FederationParams.cache_key())`` pair per point — so
+    topology (depth, fan-out) and routing mode namespace both cache tiers:
+    a cached broadcast-mode sweep can never satisfy a routed-mode lookup.
+    """
+    counts = _federation_counts(scale)
+    key = (
+        "federation",
+        federation_experiments.sweep_cache_key(
+            counts, federation_experiments.FANOUT, routing
+        ),
+        scale.cache_key(),
+        seed,
+    )
+    return _cached(
+        key,
+        lambda: federation_experiments.run_federation_sweep(
+            counts, routing, scale=scale, seed=seed, jobs=_jobs
+        ),
+    )
+
+
+def _federation_routed(scale: Scale, seed: int):
+    return _federation_leg(scale, seed, "routed")
+
+
+def _federation_broadcast(scale: Scale, seed: int):
+    return _federation_leg(scale, seed, "broadcast")
+
+
 # ------------------------------------------------------- simple experiments
 
 def _table1(scale: Scale, seed: int) -> ExperimentResult:
@@ -359,6 +401,18 @@ def _plog_percentiles(scale: Scale, seed: int) -> ExperimentResult:
 
 def _fig15_threeway(scale: Scale, seed: int) -> ExperimentResult:
     return decomposition.fig15_threeway(scale=scale, seed=seed)
+
+
+def _fig15_federation(scale: Scale, seed: int) -> ExperimentResult:
+    return decomposition.fig15_federation(scale=scale, seed=seed)
+
+
+# ------------------------------------------------------- federation overlay
+
+def _federation_scaling(scale: Scale, seed: int) -> ExperimentResult:
+    return federation_experiments.federation_scaling(
+        _federation_routed(scale, seed), _federation_broadcast(scale, seed)
+    )
 
 
 def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
@@ -996,6 +1050,8 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "plog_scaling": _plog_scaling,
     "plog_percentiles": _plog_percentiles,
     "fig15_threeway": _fig15_threeway,
+    "fig15_federation": _fig15_federation,
+    "federation_scaling": _federation_scaling,
     "chaos_threeway": _chaos_threeway,
     "chaos_broker_failover": _chaos_broker_failover,
     "chaos_replication": _chaos_replication,
@@ -1034,6 +1090,8 @@ DESCRIPTIONS: dict[str, str] = {
     "plog_scaling": "Partitioned log: RTT + §I SLA compliance to 16k connections",
     "plog_percentiles": "Partitioned log: percentile of RTT per connection count",
     "fig15_threeway": "RTT decomposition for R-GMA, Narada and the plog",
+    "fig15_federation": "RTT decomposition on the federated broker tree",
+    "federation_scaling": "Per-link traffic + RTT: routed tree vs broadcast DBN",
     "chaos_threeway": "All three middlewares under one deterministic fault plan",
     "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover vs RF=2",
     "chaos_replication": "Plog durability ladder under a broker crash: RF x acks",

@@ -21,7 +21,11 @@ This package implements:
 """
 
 from repro.narada.broker import Broker, BrokerStats
-from repro.narada.broker_network import BrokerDiscoveryNode, BrokerNetwork
+from repro.narada.broker_network import (
+    BrokerDiscoveryNode,
+    BrokerNetwork,
+    star_network,
+)
 from repro.narada.client import NaradaProvider, narada_connection_factory
 from repro.narada.config import NaradaConfig
 from repro.narada.routing import shortest_paths
@@ -35,4 +39,5 @@ __all__ = [
     "NaradaProvider",
     "narada_connection_factory",
     "shortest_paths",
+    "star_network",
 ]

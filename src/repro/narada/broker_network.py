@@ -52,6 +52,35 @@ class BrokerDiscoveryNode:
         return sorted(self._brokers)
 
 
+def star_network(
+    sim: "Simulator",
+    transport: Any,
+    brokers: list[Broker],
+    hub_index: int = 0,
+    base_port: int = 19000,
+) -> Generator[Any, Any, "BrokerNetwork"]:
+    """Reusable single-network baseline: the paper's DBN star, built once.
+
+    Registers every broker and wires a star with ``brokers[hub_index]`` as
+    the unit-controller hub.  The forwarding policy comes from each
+    broker's own config: ``broadcast_flaw=True`` reproduces the measured
+    v1.1.3 flooding, ``broadcast_flaw=False`` the subscription-aware
+    single-network routing — so the same builder serves the Narada DBN
+    experiments, the routing ablation, and the ``federation_scaling``
+    sweep's broadcast A/B leg, instead of each duplicating the setup.
+
+    Run with ``sim.run_process``; returns the :class:`BrokerNetwork`.
+    """
+    network = BrokerNetwork(sim, transport, base_port=base_port)
+    for broker in brokers:
+        yield from network.add_broker(broker)
+    hub = brokers[hub_index]
+    yield from network.star(
+        hub.name, [b.name for b in brokers if b is not hub]
+    )
+    return network
+
+
 class BrokerNetwork:
     """A set of interconnected brokers sharing one event space."""
 

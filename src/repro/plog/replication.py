@@ -299,22 +299,83 @@ class ReplicaFetcher:
         self._leader_name = None
 
 
-class ClusterController:
+class MembershipController:
+    """Reusable control-plane base: a periodic broker-liveness scan.
+
+    A single periodic process scans broker liveness every
+    ``_detect_interval`` seconds — so detection latency is bounded and,
+    crucially, *deterministic*: the scan draws no randomness and visits
+    brokers in a fixed order, so the same seed yields the same
+    failure/return transitions at the same times.  Subclasses supply the
+    member list, the interval and the two transition hooks; the plog
+    :class:`ClusterController` layers leader election on top, and
+    :class:`repro.federation.controller.FederationController` layers
+    tree re-parenting on top of the same scan.
+
+    Any object with ``name``, ``alive`` and ``jvm.dead`` can be a member
+    (the same duck-typed surface the fault injector relies on).
+    """
+
+    #: Process name of the monitor loop (subclasses override).
+    monitor_name = "membership.controller"
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._alive: dict[str, bool] = {}
+
+    # ---------------------------------------------------- subclass surface
+    def _members(self):
+        """The scanned brokers, in the (fixed) scan order."""
+        raise NotImplementedError  # pragma: no cover
+
+    @property
+    def _detect_interval(self) -> float:
+        raise NotImplementedError  # pragma: no cover
+
+    def _on_broker_failure(self, broker) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def _on_broker_return(self, broker) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    # -------------------------------------------------------------- liveness
+    def _broker_up(self, broker) -> bool:
+        return broker.alive and not broker.jvm.dead
+
+    def _start_monitor(self) -> None:
+        for broker in self._members():
+            self._alive.setdefault(broker.name, True)
+        self.sim.process(self._monitor(), name=self.monitor_name)
+
+    def _monitor(self) -> Generator[Any, Any, None]:
+        interval = self._detect_interval
+        while True:
+            yield self.sim.timeout(interval)
+            for broker in self._members():
+                up = self._broker_up(broker)
+                if up and not self._alive[broker.name]:
+                    self._alive[broker.name] = True
+                    self._on_broker_return(broker)
+                elif not up and self._alive[broker.name]:
+                    self._alive[broker.name] = False
+                    self._on_broker_failure(broker)
+
+
+class ClusterController(MembershipController):
     """The control plane: failure detection, leader election, coordinator
     failover.
 
-    A single periodic process scans broker liveness every
-    ``failure_detect_interval`` seconds — so detection latency is bounded
-    and, crucially, *deterministic*: the scan draws no randomness and
-    visits brokers in deployment order, so the same seed yields the same
-    elections at the same times.
+    The liveness scan itself lives in :class:`MembershipController`; this
+    subclass owns what the transitions *mean* for a replicated log —
+    partition leader election and group-coordinator failover.
     """
 
+    monitor_name = "plog.controller"
+
     def __init__(self, sim: "Simulator", deployment: "PlogDeployment"):
-        self.sim = sim
+        super().__init__(sim)
         self.deployment = deployment
         self.config = deployment.config
-        self._alive: dict[str, bool] = {}
         #: Authoritative ISR view, fed by leader notifications.
         self.isr_view: dict[tuple[str, int], frozenset[str]] = {}
         self._epochs: dict[tuple[str, int], int] = {}
@@ -333,24 +394,15 @@ class ClusterController:
                 if state.leader == broker.name:
                     self.isr_view[key] = state.isr_names()
                     self._epochs[key] = state.epoch
-        self.sim.process(self._monitor(), name="plog.controller")
+        self._start_monitor()
 
     # ------------------------------------------------------------- liveness
-    def _broker_up(self, broker: "PlogBroker") -> bool:
-        return broker.alive and not broker.jvm.dead
+    def _members(self) -> list["PlogBroker"]:
+        return self.deployment.brokers
 
-    def _monitor(self) -> Generator[Any, Any, None]:
-        interval = self.config.failure_detect_interval
-        while True:
-            yield self.sim.timeout(interval)
-            for broker in self.deployment.brokers:
-                up = self._broker_up(broker)
-                if up and not self._alive[broker.name]:
-                    self._alive[broker.name] = True
-                    self._on_broker_return(broker)
-                elif not up and self._alive[broker.name]:
-                    self._alive[broker.name] = False
-                    self._on_broker_failure(broker)
+    @property
+    def _detect_interval(self) -> float:
+        return self.config.failure_detect_interval
 
     # ------------------------------------------------------------ elections
     def _on_isr_change(

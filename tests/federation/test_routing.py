@@ -1,0 +1,88 @@
+"""Routing-table covering/aggregation: the unit-level convergence rules.
+
+Every mutator's return value is the broker's (un)advertise decision, so
+these tests pin down exactly when ``fsub`` traffic is generated.
+"""
+
+from repro.federation import RoutingTable
+
+
+def test_first_local_subscription_advertises():
+    table = RoutingTable("b")
+    assert table.add_local("t", "s1") is True
+    # covering: further subscriptions to the same topic stay silent
+    assert table.add_local("t", "s2") is False
+    assert table.has_local("t")
+    assert table.local_sub_ids("t") == ("s1", "s2")
+
+
+def test_last_local_unsubscribe_withdraws():
+    table = RoutingTable("b")
+    table.add_local("t", "s1")
+    table.add_local("t", "s2")
+    assert table.remove_local("t", "s1") is False
+    assert table.remove_local("t", "s2") is True
+    assert not table.has_interest("t")
+    # removing an unknown subscription is a no-op, not a withdrawal
+    assert table.remove_local("t", "ghost") is False
+
+
+def test_downstream_covering_across_children():
+    table = RoutingTable("b")
+    assert table.set_downstream("t", "c1", True) is True
+    # a second child subtree with the same topic is covered — no re-advertise
+    assert table.set_downstream("t", "c2", True) is False
+    assert table.children_for("t") == ("c1", "c2")
+    # dropping one child keeps the aggregate alive
+    assert table.set_downstream("t", "c1", False) is False
+    # dropping the last one withdraws
+    assert table.set_downstream("t", "c2", False) is True
+    assert table.children_for("t") == ()
+
+
+def test_local_interest_covers_downstream_transitions():
+    table = RoutingTable("b")
+    table.add_local("t", "s1")
+    # downstream arriving under existing local interest: covered
+    assert table.set_downstream("t", "c1", True) is False
+    # local going away while a child still wants it: still covered
+    assert table.remove_local("t", "s1") is False
+    assert table.set_downstream("t", "c1", False) is True
+
+
+def test_drop_child_reports_only_emptied_topics():
+    table = RoutingTable("b")
+    table.set_downstream("a", "c1", True)
+    table.set_downstream("a", "c2", True)
+    table.set_downstream("b", "c1", True)
+    table.add_local("c", "s1")
+    table.set_downstream("c", "c1", True)
+    # c1 dies: topic "a" survives via c2, "c" survives via the local sub,
+    # only "b" empties.
+    assert table.drop_child("c1") == ("b",)
+    assert table.children_for("a") == ("c2",)
+    assert table.has_interest("c")
+    assert not table.has_interest("b")
+
+
+def test_entry_count_is_the_covering_bound():
+    table = RoutingTable("parent")
+    # 10 subscribers on one topic in one child subtree -> ONE entry here.
+    table.set_downstream("t", "c1", True)
+    assert table.entry_count() == 1
+    table.set_downstream("t", "c2", True)
+    table.set_downstream("u", "c1", True)
+    table.add_local("t", "s1")
+    table.add_local("t", "s2")  # second local sub: still one local topic
+    assert table.entry_count() == 4  # (t,c1) (t,c2) (u,c1) + local t
+    assert table.topics() == ("t", "u")
+
+
+def test_clear_forgets_everything():
+    table = RoutingTable("b")
+    table.add_local("t", "s1")
+    table.set_downstream("t", "c1", True)
+    table.clear()
+    assert table.entry_count() == 0
+    assert table.topics() == ()
+    assert not table.has_interest("t")
