@@ -1,0 +1,113 @@
+"""Per-topic replay ring: the gateway's catch-up window.
+
+Every upstream event lands in a bounded ring and gets a monotonically
+increasing sequence number.  A long-poll carries a cursor ``(epoch, seq)``:
+``seq`` is the next ring sequence the client has not seen, ``epoch``
+identifies the gateway incarnation that issued it (a restarted or different
+gateway starts a fresh ring, so foreign cursors are meaningless there and
+the client falls back to a *time* cursor — everything created since its
+last delivered event, minus a skew margin).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """One retained upstream event."""
+
+    seq: int
+    payload: Any
+    nbytes: float
+    #: Sim time the event entered the gateway.
+    t_in: float
+    #: Sim time the originating record was created (global clock — the
+    #: portable cursor for cross-gateway failover catch-up).
+    created: float
+
+
+class ReplayRing:
+    """Bounded per-topic event history with cursor and time reads."""
+
+    def __init__(self, topic: str, capacity: int, epoch: str):
+        self.topic = topic
+        self.capacity = capacity
+        #: Identifies the gateway incarnation that owns this ring.
+        self.epoch = epoch
+        self._events: deque[ReplayEvent] = deque()
+        self._next_seq = 0
+        self.appended = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------ write
+    def append(self, payload: Any, nbytes: float, t_in: float, created: float) -> ReplayEvent:
+        event = ReplayEvent(self._next_seq, payload, nbytes, t_in, created)
+        self._next_seq += 1
+        self._events.append(event)
+        self.appended += 1
+        if len(self._events) > self.capacity:
+            self._events.popleft()
+            self.evicted += 1
+        return event
+
+    # ------------------------------------------------------------------- read
+    @property
+    def end_seq(self) -> int:
+        """The cursor a fully caught-up client holds."""
+        return self._next_seq
+
+    @property
+    def oldest_seq(self) -> Optional[int]:
+        return self._events[0].seq if self._events else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def read(
+        self, cursor: int, limit: Optional[int] = None
+    ) -> tuple[list[ReplayEvent], int, bool]:
+        """Events at/after ``cursor``; returns ``(events, next_cursor,
+        truncated)``.
+
+        ``truncated`` is True when ``cursor`` fell off the ring's tail —
+        the client was away longer than the retained window, so events were
+        irrecoverably missed at this gateway.
+        """
+        truncated = bool(self._events) and cursor < self._events[0].seq
+        if not self._events and cursor < self._next_seq:
+            truncated = True
+        out: list[ReplayEvent] = []
+        for event in self._events:
+            if event.seq >= cursor:
+                out.append(event)
+                if limit is not None and len(out) >= limit:
+                    break
+        next_cursor = out[-1].seq + 1 if out else max(cursor, self._next_seq)
+        return out, next_cursor, truncated
+
+    def read_since_created(
+        self,
+        since: float,
+        limit: Optional[int] = None,
+        matches: Optional[Callable[[ReplayEvent], bool]] = None,
+    ) -> tuple[list[ReplayEvent], int]:
+        """Events whose originating record was created at/after ``since``.
+
+        The failover path: a client arriving from another gateway has no
+        usable ``seq`` cursor here, only the created-time of its last
+        delivered event (the one clock both gateways share).  Returns the
+        matching events and the ``next_cursor`` that resumes normal cursor
+        reads afterwards.
+        """
+        out: list[ReplayEvent] = []
+        for event in self._events:
+            if event.created >= since and (matches is None or matches(event)):
+                out.append(event)
+                if limit is not None and len(out) >= limit:
+                    break
+        next_cursor = out[-1].seq + 1 if out else self._next_seq
+        return out, next_cursor

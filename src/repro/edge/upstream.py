@@ -1,0 +1,234 @@
+"""Upstream adapters: one pooled middleware client per gateway.
+
+The pooling headline lives here: regardless of how many clients park on a
+gateway, the gateway holds *one* upstream subscription per distinct topic
+(Narada: one JMS connection, one subscriber per topic; plog: one
+consumer-group member; R-GMA: one polling consumer per topic) — the
+pgbouncer shape, with the per-subtree covering-subscription idea of
+:mod:`repro.federation.routing` applied to the client edge.
+
+Each adapter's :meth:`open` mints a *session* bound to one gateway
+incarnation; a crashed gateway closes its session and a restarted one
+opens a fresh session and re-subscribes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.jms.destination import Topic
+from repro.narada.client import narada_connection_factory
+from repro.transport.base import ChannelClosed, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.plog.deployment import PlogDeployment
+    from repro.rgma.site import RGMADeployment
+    from repro.sim.kernel import Simulator
+
+#: deliver(topic, payload, nbytes) — the gateway's ingest callback.
+Deliver = Callable[[str, Any, float], None]
+
+
+def record_of(payload: Any) -> Optional[Any]:
+    """The :class:`MessageRecord` riding on a middleware payload, if any.
+
+    Narada messages and plog values carry it as ``_record``; R-GMA tuples
+    carry it in ``meta["record"]``.
+    """
+    record = getattr(payload, "_record", None)
+    if record is not None:
+        return record
+    meta = getattr(payload, "meta", None)
+    if isinstance(meta, dict):
+        return meta.get("record")
+    return None
+
+
+def payload_bytes(payload: Any, default: float = 140.0) -> float:
+    wire_size = getattr(payload, "wire_size", None)
+    if callable(wire_size):
+        return float(wire_size())
+    return default
+
+
+class NaradaUpstream:
+    """One JMS connection per gateway; one subscriber per topic."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        transport: Any,
+        broker_address: tuple[str, int],
+        config: Any = None,
+    ):
+        self.sim = sim
+        self.transport = transport
+        self.broker_address = broker_address
+        self.config = config
+
+    def open(self, node: "Node", name: str) -> "_NaradaSession":
+        return _NaradaSession(self, node, name)
+
+
+class _NaradaSession:
+    def __init__(self, upstream: NaradaUpstream, node: "Node", name: str):
+        self.upstream = upstream
+        self.node = node
+        self.name = name
+        self._connection: Any = None
+        self._session: Any = None
+        self.closed = False
+
+    @property
+    def connections(self) -> int:
+        return 1 if self._connection is not None and not self.closed else 0
+
+    def subscribe(self, topic: str, deliver: Deliver) -> Generator[Any, Any, None]:
+        if self._connection is None:
+            factory = narada_connection_factory(
+                self.upstream.sim,
+                self.upstream.transport,
+                self.node,
+                self.upstream.broker_address[0],
+                self.upstream.broker_address[1],
+                self.upstream.config,
+            )
+            self._connection = yield from factory.create_connection()
+            self._connection.start()
+            self._session = self._connection.create_session()
+
+        def listener(message: Any, _topic: str = topic) -> None:
+            if not self.closed:
+                deliver(_topic, message, payload_bytes(message))
+
+        yield from self._session.create_subscriber(
+            Topic(topic), selector=None, listener=listener
+        )
+
+    def close(self) -> None:
+        self.closed = True
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+            self._session = None
+
+
+class PlogUpstream:
+    """One consumer-group member per gateway.
+
+    The group is stable across gateway incarnations (``edge.<gateway>``),
+    so a restarted gateway resumes from its committed offsets — the log
+    *is* the catch-up window on this path; the member name is fresh per
+    incarnation so the coordinator sees a clean rejoin.
+    """
+
+    def __init__(self, sim: "Simulator", deployment: "PlogDeployment"):
+        self.sim = sim
+        self.deployment = deployment
+
+    def open(self, node: "Node", name: str) -> "_PlogSession":
+        return _PlogSession(self, node, name)
+
+
+class _PlogSession:
+    def __init__(self, upstream: PlogUpstream, node: "Node", name: str):
+        self.upstream = upstream
+        self.node = node
+        self.name = name
+        self._consumer: Any = None
+        self.closed = False
+
+    @property
+    def connections(self) -> int:
+        if self._consumer is None or self.closed:
+            return 0
+        coord = 1 if self._consumer._coord is not None else 0
+        return coord + len(self._consumer._sessions)
+
+    def subscribe(self, topic: str, deliver: Deliver) -> Generator[Any, Any, None]:
+        # One deployment serves one topic; the member covers all partitions.
+        def on_record(value: Any, t_arrived: float, _topic: str = topic) -> None:
+            if not self.closed:
+                deliver(_topic, value, payload_bytes(value))
+
+        group = self.name.rsplit(".", 1)[0]  # stable across incarnations
+        self._consumer = self.upstream.deployment.consumer(
+            self.node, self.name, group, on_record=on_record
+        )
+        self.upstream.sim.process(self._run(), name=f"{self.name}.member")
+        yield self.upstream.sim.timeout(0.0)
+
+    def _run(self) -> Generator[Any, Any, None]:
+        try:
+            yield from self._consumer.start()
+        except (ChannelClosed, TransportError):
+            return
+
+    def close(self) -> None:
+        self.closed = True
+        if self._consumer is not None:
+            self._consumer.close()
+            self._consumer = None
+
+
+class RgmaUpstream:
+    """One polling :class:`ConsumerClient` per topic per gateway."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        deployment: "RGMADeployment",
+        poll_interval: float = 0.1,
+        consumer_index_base: int = 100,
+    ):
+        self.sim = sim
+        self.deployment = deployment
+        self.poll_interval = poll_interval
+        self._next_index = consumer_index_base
+
+    def open(self, node: "Node", name: str) -> "_RgmaSession":
+        return _RgmaSession(self, node, name)
+
+
+class _RgmaSession:
+    def __init__(self, upstream: RgmaUpstream, node: "Node", name: str):
+        self.upstream = upstream
+        self.node = node
+        self.name = name
+        self._clients: list[Any] = []
+        self.closed = False
+
+    @property
+    def connections(self) -> int:
+        return 0 if self.closed else len(self._clients)
+
+    def subscribe(self, topic: str, deliver: Deliver) -> Generator[Any, Any, None]:
+        client = self.upstream.deployment.consumer_client(
+            self.node, self.upstream._next_index
+        )
+        self.upstream._next_index += 1
+        yield from client.create(f"SELECT * FROM {topic}")
+        self._clients.append(client)
+
+        def on_tuple(t: Any, _topic: str = topic) -> None:
+            if not self.closed:
+                deliver(_topic, t, payload_bytes(t))
+
+        self.upstream.sim.process(
+            self._guarded_poll(client, on_tuple), name=f"{self.name}.poll"
+        )
+
+    def _guarded_poll(self, client: Any, on_tuple: Any) -> Generator[Any, Any, None]:
+        try:
+            yield from client.poll_loop(on_tuple, self.upstream.poll_interval)
+        except Exception:
+            # Registry/servlet unreachable or session torn down mid-poll;
+            # the owning gateway decides whether to re-open.
+            return
+
+    def close(self) -> None:
+        self.closed = True
+        for client in self._clients:
+            client.stop()
+        self._clients = []

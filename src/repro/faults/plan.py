@@ -283,6 +283,21 @@ def coordinator_outage(measure_since: float, duration: float) -> FaultPlan:
     )
 
 
+def gateway_outage(measure_since: float, duration: float) -> FaultPlan:
+    """Crash the first *gateway* a quarter in; restart after 0.35·duration.
+
+    Edge runs attach their gateways first in the scheduler's broker list,
+    so ``broker:0`` resolves to gateway 0 — the one the stamping client
+    calls home.  Exercises dropped long-polls, client failover with a time
+    cursor, and catch-up replay from the surviving gateway's ring.
+    """
+    return FaultPlan().broker_crash(
+        at=measure_since + 0.25 * duration,
+        broker="broker:0",
+        restart_after=0.35 * duration,
+    )
+
+
 def mixed(measure_since: float, duration: float) -> FaultPlan:
     """Loss burst plus a latency spike, overlapping — a genuinely bad day."""
     plan = loss_burst(measure_since, duration)
@@ -302,6 +317,7 @@ PLANS: dict[str, PlanTemplate] = {
     "partition": partition_window,
     "broker_outage": broker_outage,
     "coordinator_outage": coordinator_outage,
+    "gateway_outage": gateway_outage,
     "mixed": mixed,
 }
 

@@ -148,6 +148,58 @@ def fig15_federation(
     return result
 
 
+def fig15_edge(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    n_clients: int = 2000,
+    n_gateways: int = 2,
+    middleware: str = "narada",
+) -> ExperimentResult:
+    """Fig 15 with the long-poll gateway hop in the path.
+
+    PT here includes the edge tier: spans carry ``edge_in`` (event reaches
+    the gateway off its pooled upstream connection), ``parked`` (how long
+    the winning long-poll request had been parked) and ``edge_out`` (the
+    HTTP response leaves), so the gateway dwell — ``edge_out - edge_in`` —
+    is separable from the native middleware transit.
+    """
+    from repro.harness.edge_experiments import edge_point
+
+    result = ExperimentResult(
+        "fig15_edge",
+        "RTT decomposition through the edge gateway hop (cumulative ms)",
+        "phase",
+        "millisecond",
+    )
+    tel, ctx = _session("fig15_edge")
+    with ctx:
+        run = edge_point(
+            n_clients, n_gateways, middleware, scale=scale, seed=seed
+        )
+    breakdowns = _decomposition_rows(
+        result, tel, (("Edge", run, middleware),)
+    )
+    phases = breakdowns["Edge"]
+    spans = tel.spans_for_book(run.book)
+    dwells = [
+        (s.phases["edge_out"] - s.phases["edge_in"]) * 1e3
+        for s in spans
+        if "edge_in" in s.phases and "edge_out" in s.phases
+        and s.phases["created"] >= run.measure_since
+    ]
+    mean_dwell = sum(dwells) / len(dwells) if dwells else 0.0
+    result.note(
+        f"{middleware} + edge tier ({run.n_gateways} gateways, "
+        f"{run.n_clients} clients): gateway dwell (edge_in -> edge_out) "
+        f"averages {mean_dwell:.2f} ms of the {phases.pt_ms:.1f} ms PT; "
+        f"{run.pooled_connections} pooled upstream connection(s) carry the "
+        "whole population"
+    )
+    result.meta["gateway_dwell_ms"] = mean_dwell
+    result.meta["middleware"] = middleware
+    return result
+
+
 def fig15_threeway(
     scale: Optional[Scale] = None,
     seed: int = 1,

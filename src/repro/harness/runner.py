@@ -39,6 +39,7 @@ from repro.faults import PLANS
 from repro.harness import (
     chaos_experiments,
     decomposition,
+    edge_experiments,
     federation_experiments,
     narada_experiments,
     plog_experiments,
@@ -272,6 +273,45 @@ def _federation_broadcast(scale: Scale, seed: int):
     return _federation_leg(scale, seed, "broadcast")
 
 
+def _edge_points(scale: Scale) -> tuple[tuple[int, int], ...]:
+    return (
+        edge_experiments.EDGE_SWEEP_FULL
+        if scale.name == "full"
+        else edge_experiments.EDGE_SWEEP
+    )
+
+
+def _edge_sweep(scale: Scale, seed: int, middleware: str = "narada"):
+    """One cached edge sweep leg.
+
+    The key folds :func:`edge_experiments.sweep_cache_key` — one
+    ``(clients, gateways, middleware, EdgeConfig.cache_key())`` tuple per
+    point — so gateway topology and edge tuning namespace both cache tiers.
+    """
+    points = _edge_points(scale)
+    key = (
+        "edge",
+        edge_experiments.sweep_cache_key(points, middleware, None),
+        scale.cache_key(),
+        seed,
+    )
+    return _cached(
+        key,
+        lambda: edge_experiments.run_edge_sweep(
+            points, middleware, scale=scale, seed=seed, jobs=_jobs
+        ),
+    )
+
+
+def _edge_direct(scale: Scale, seed: int, middleware: str = "narada"):
+    return _cached(
+        ("edge_direct", middleware, scale.cache_key(), seed),
+        lambda: edge_experiments.direct_point(
+            middleware, scale=scale, seed=seed
+        ),
+    )
+
+
 # ------------------------------------------------------- simple experiments
 
 def _table1(scale: Scale, seed: int) -> ExperimentResult:
@@ -415,6 +455,18 @@ def _federation_scaling(scale: Scale, seed: int) -> ExperimentResult:
     )
 
 
+# -------------------------------------------------------------- edge tier
+
+def _edge_scaling(scale: Scale, seed: int) -> ExperimentResult:
+    return edge_experiments.edge_scaling(
+        _edge_sweep(scale, seed), _edge_direct(scale, seed), "narada"
+    )
+
+
+def _fig15_edge(scale: Scale, seed: int) -> ExperimentResult:
+    return decomposition.fig15_edge(scale=scale, seed=seed)
+
+
 def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
     """Table III with a third row derived from the plog sweeps."""
     base = _table3(scale, seed)
@@ -474,6 +526,7 @@ CHAOS_EXPERIMENTS = (
     "chaos_broker_failover",
     "chaos_replication",
     "chaos_adaptive_backoff",
+    "edge_gateway_crash",
 )
 
 #: Default plan per chaos experiment when ``--fault-plan`` is not given.
@@ -482,6 +535,7 @@ _CHAOS_DEFAULT_PLAN = {
     "chaos_broker_failover": "broker_outage",
     "chaos_replication": "broker_outage",
     "chaos_adaptive_backoff": "latency_spike",
+    "edge_gateway_crash": "gateway_outage",
 }
 
 
@@ -513,6 +567,14 @@ def _chaos_adaptive_backoff(
     scale: Scale, seed: int, fault_plan: str = "latency_spike"
 ) -> ExperimentResult:
     return chaos_experiments.chaos_adaptive_backoff(
+        scale=scale, seed=seed, fault_plan=fault_plan
+    )
+
+
+def _edge_gateway_crash(
+    scale: Scale, seed: int, fault_plan: str = "gateway_outage"
+) -> ExperimentResult:
+    return edge_experiments.run_gateway_crash(
         scale=scale, seed=seed, fault_plan=fault_plan
     )
 
@@ -1051,7 +1113,10 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "plog_percentiles": _plog_percentiles,
     "fig15_threeway": _fig15_threeway,
     "fig15_federation": _fig15_federation,
+    "fig15_edge": _fig15_edge,
     "federation_scaling": _federation_scaling,
+    "edge_scaling": _edge_scaling,
+    "edge_gateway_crash": _edge_gateway_crash,
     "chaos_threeway": _chaos_threeway,
     "chaos_broker_failover": _chaos_broker_failover,
     "chaos_replication": _chaos_replication,
@@ -1091,7 +1156,10 @@ DESCRIPTIONS: dict[str, str] = {
     "plog_percentiles": "Partitioned log: percentile of RTT per connection count",
     "fig15_threeway": "RTT decomposition for R-GMA, Narada and the plog",
     "fig15_federation": "RTT decomposition on the federated broker tree",
+    "fig15_edge": "RTT decomposition through the long-poll gateway hop",
     "federation_scaling": "Per-link traffic + RTT: routed tree vs broadcast DBN",
+    "edge_scaling": "Edge tier: clients 10k+ pooled onto O(topics) connections",
+    "edge_gateway_crash": "Gateway crash: failover, ring replay, exactly-once",
     "chaos_threeway": "All three middlewares under one deterministic fault plan",
     "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover vs RF=2",
     "chaos_replication": "Plog durability ladder under a broker crash: RF x acks",

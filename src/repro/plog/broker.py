@@ -370,7 +370,17 @@ class PlogBroker:
         waiter = _FetchWaiter(channel, corr, topic, partition, offset, max_records)
         self._waiters.setdefault(key, []).append(waiter)
         self.stats.long_polls_parked += 1
+        self._note_parked()
         self.sim.call_at(self.sim.now + max_wait, lambda: self._expire_waiter(waiter))
+
+    def _note_parked(self) -> None:
+        """Mirror parked-fetch pressure into telemetry (current + total)."""
+        tel = _telemetry()
+        if tel is None:
+            return
+        tel.metrics.gauge("plog", self.name, "long_polls_parked").set(
+            sum(1 for ws in self._waiters.values() for w in ws if w.active)
+        )
 
     def _readable_end(self, key: tuple[str, int]) -> int:
         """First offset consumers may *not* read: the high watermark on a
@@ -402,6 +412,7 @@ class PlogBroker:
             self._waiters[key] = remaining
         else:
             self._waiters.pop(key, None)
+        self._note_parked()
 
     def _expire_waiter(self, waiter: _FetchWaiter) -> None:
         if not waiter.active:
@@ -410,6 +421,7 @@ class PlogBroker:
         self.sim.process(
             self._respond_waiter(waiter), name=f"{self.name}.fetch-expire"
         )
+        self._note_parked()
 
     def _respond_waiter(self, waiter: _FetchWaiter) -> Generator[Any, Any, None]:
         if waiter.replica is not None:
@@ -497,6 +509,7 @@ class PlogBroker:
         )
         self._waiters.setdefault(key, []).append(waiter)
         self.stats.long_polls_parked += 1
+        self._note_parked()
         self.sim.call_at(self.sim.now + max_wait, lambda: self._expire_waiter(waiter))
 
     def _respond_replica_fetch(
@@ -745,6 +758,7 @@ class PlogBroker:
                 channel.close()
         self._client_channels.clear()
         self._waiters.clear()
+        self._note_parked()
         for state in self.states.values():
             # Parked acks=all responses die with their channels; producers
             # that retry re-send the batch to the new leader.

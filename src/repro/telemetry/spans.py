@@ -27,12 +27,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.records import RecordBook
 
 #: Phase names in life-cycle order.  ``created``..``delivered`` are the
-#: record-book boundaries; ``broker_in``/``broker_out`` are live marks.
+#: record-book boundaries; ``broker_in``/``broker_out`` are live broker
+#: marks, and ``edge_in``/``parked``/``edge_out`` are the gateway-tier hop
+#: (upstream delivery into the gateway, the long-poll park that consumed
+#: the event, and the write into the long-poll response).
 PHASES = (
     "created",
     "published",
     "broker_in",
     "broker_out",
+    "edge_in",
+    "parked",
+    "edge_out",
     "arrived",
     "delivered",
 )

@@ -26,6 +26,10 @@ REQUEST_HEADER_BYTES = 280
 RESPONSE_HEADER_BYTES = 180
 
 
+class HttpTimeout(TransportError):
+    """No response arrived within the client's request timeout."""
+
+
 @dataclass
 class HttpRequest:
     """A request as seen by the server dispatcher."""
@@ -131,12 +135,15 @@ class HttpClient:
         self._channel: Optional[Channel] = None
 
     def request(
-        self, path: str, body: Any, body_bytes: float
+        self, path: str, body: Any, body_bytes: float, timeout: Optional[float] = None
     ) -> Generator[Any, Any, HttpResponse]:
         """Round-trip a request; returns the :class:`HttpResponse`.
 
         The connection is established lazily and reused (keep-alive); a
-        closed connection is re-established once.
+        closed connection is re-established once.  With ``timeout`` set, a
+        response overdue by ``timeout`` seconds raises :class:`HttpTimeout`
+        and drops the connection — a late response would desynchronise
+        keep-alive framing, so the socket cannot be reused.
         """
         started = self.sim.now
         for attempt in (0, 1):
@@ -155,7 +162,19 @@ class HttpClient:
                 if attempt:
                     raise
                 continue
-            delivery = yield channel.receive()
+            if timeout is not None:
+                receive_ev = channel.receive()
+                yield self.sim.any_of([receive_ev, self.sim.timeout(timeout)])
+                if not receive_ev.triggered:
+                    channel.close()
+                    self._channel = None
+                    raise HttpTimeout(
+                        f"no response from {self.server_host}:{self.port} "
+                        f"within {timeout}s"
+                    )
+                delivery = receive_ev.value
+            else:
+                delivery = yield channel.receive()
             from repro.transport.base import EOF
 
             if delivery.payload is EOF:

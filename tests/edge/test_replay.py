@@ -1,0 +1,94 @@
+"""Tests for the per-topic replay ring."""
+
+from repro.edge.replay import ReplayRing
+
+
+def ring(capacity=4):
+    return ReplayRing("gridmon", capacity, epoch="gw0#0")
+
+
+def fill(r, n, t0=0.0):
+    for i in range(n):
+        r.append({"i": i}, 140.0, t_in=t0 + i, created=t0 + i)
+
+
+def test_append_assigns_monotonic_seqs():
+    r = ring()
+    fill(r, 3)
+    events, next_cursor, truncated = r.read(0)
+    assert [e.seq for e in events] == [0, 1, 2]
+    assert next_cursor == 3
+    assert not truncated
+    assert r.end_seq == 3
+    assert r.appended == 3
+
+
+def test_cursor_read_returns_only_unseen():
+    r = ring()
+    fill(r, 3)
+    events, next_cursor, _ = r.read(2)
+    assert [e.payload["i"] for e in events] == [2]
+    assert next_cursor == 3
+    # Caught-up cursor: nothing more, cursor stays put.
+    events, next_cursor, truncated = r.read(3)
+    assert events == []
+    assert next_cursor == 3
+    assert not truncated
+
+
+def test_read_respects_limit():
+    r = ring(capacity=10)
+    fill(r, 8)
+    events, next_cursor, _ = r.read(0, limit=3)
+    assert [e.seq for e in events] == [0, 1, 2]
+    assert next_cursor == 3  # resumes exactly where the page ended
+
+
+def test_eviction_truncates_stale_cursors():
+    r = ring(capacity=4)
+    fill(r, 10)  # seqs 6..9 retained
+    assert len(r) == 4
+    assert r.evicted == 6
+    assert r.oldest_seq == 6
+    events, next_cursor, truncated = r.read(2)
+    assert truncated  # cursor 2 fell off the tail: events 2..5 are gone
+    assert [e.seq for e in events] == [6, 7, 8, 9]
+    assert next_cursor == 10
+
+
+def test_empty_ring_with_advanced_seq_is_truncated():
+    r = ring(capacity=2)
+    fill(r, 5)
+    r._events.clear()  # crash-adjacent edge: history gone, seq survived
+    events, next_cursor, truncated = r.read(0)
+    assert truncated
+    assert events == []
+    assert next_cursor == 5
+
+
+def test_read_since_created_replays_time_window():
+    r = ring(capacity=10)
+    fill(r, 6, t0=100.0)  # created 100..105
+    events, next_cursor = r.read_since_created(103.0)
+    assert [e.created for e in events] == [103.0, 104.0, 105.0]
+    assert next_cursor == 6
+    # Nothing that recent: cursor points at the ring's live end.
+    events, next_cursor = r.read_since_created(500.0)
+    assert events == []
+    assert next_cursor == 6
+
+
+def test_read_since_created_filter_and_limit():
+    r = ring(capacity=10)
+    fill(r, 6, t0=0.0)
+    events, next_cursor = r.read_since_created(
+        0.0, limit=2, matches=lambda e: e.payload["i"] % 2 == 0
+    )
+    assert [e.payload["i"] for e in events] == [0, 2]
+    assert next_cursor == 3
+
+
+def test_epoch_identifies_incarnation():
+    a = ReplayRing("t", 4, epoch="gw0#0")
+    b = ReplayRing("t", 4, epoch="gw0#1")
+    assert a.epoch != b.epoch

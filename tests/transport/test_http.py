@@ -118,3 +118,100 @@ def test_server_close_unbinds_port():
     sim, cluster, tcp, server, _ = setup_server()
     server.close()
     HttpServer(sim, tcp, cluster.node("hydra2"), 8080, lambda req, respond: None)
+
+
+# ------------------------------------------------------- timeout / long-poll
+
+def test_request_timeout_raises_http_timeout():
+    from repro.transport.http import HttpTimeout
+
+    sim = Simulator(seed=5)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    # Dispatcher that parks the respond callable and never calls it.
+    HttpServer(
+        sim, tcp, cluster.node("hydra2"), 8080,
+        dispatcher=lambda req, respond: None,
+    )
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        t0 = sim.now
+        try:
+            yield from client.request("/poll", None, 100, timeout=2.0)
+        except HttpTimeout:
+            return sim.now - t0
+        raise AssertionError("expected HttpTimeout")
+
+    elapsed = sim.run_process(run())
+    # Fires at timeout plus however long the request took to reach the wire.
+    assert 2.0 <= elapsed < 2.5
+
+
+def test_request_timeout_closes_channel_and_reconnects():
+    from repro.transport.http import HttpTimeout
+
+    sim = Simulator(seed=6)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    answer = {"now": False}
+
+    def dispatcher(request, respond):
+        if answer["now"]:
+            respond(200, {"ok": True}, 100)
+
+    HttpServer(sim, tcp, cluster.node("hydra2"), 8080, dispatcher)
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        try:
+            yield from client.request("/poll", None, 100, timeout=1.0)
+        except HttpTimeout:
+            pass
+        # The timed-out channel is torn down; the next request must open a
+        # fresh connection and succeed.
+        assert client._channel is None
+        answer["now"] = True
+        resp = yield from client.request("/poll", None, 100, timeout=1.0)
+        return resp.status
+
+    assert sim.run_process(run()) == 200
+
+
+def test_deferred_respond_models_long_poll():
+    """A dispatcher may hold the respond callable and fire it later — the
+    long-poll primitive the edge gateway is built on."""
+    sim = Simulator(seed=7)
+    cluster = HydraCluster(sim)
+    tcp = TcpTransport(sim, cluster.lan)
+    parked = []
+
+    def dispatcher(request, respond):
+        parked.append(respond)
+
+    HttpServer(sim, tcp, cluster.node("hydra2"), 8080, dispatcher)
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+    sim.call_at(3.0, lambda: parked[0](200, {"event": 42}, 140))
+
+    def run():
+        t0 = sim.now
+        resp = yield from client.request("/poll", None, 100, timeout=10.0)
+        return resp, sim.now - t0
+
+    resp, elapsed = sim.run_process(run())
+    assert resp.status == 200
+    assert resp.body == {"event": 42}
+    assert elapsed >= 3.0  # held until the event, well before the timeout
+
+
+def test_response_within_timeout_is_delivered():
+    sim, cluster, tcp, server, served = setup_server()
+    client = HttpClient(sim, tcp, cluster.node("hydra1"), "hydra2", 8080)
+
+    def run():
+        resp = yield from client.request("/a", {"k": 1}, 100, timeout=5.0)
+        return resp
+
+    resp = sim.run_process(run())
+    assert resp.status == 200
+    assert resp.body == {"echo": {"k": 1}}
