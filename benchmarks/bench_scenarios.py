@@ -1,0 +1,103 @@
+"""Machine-readable scenario scorecards: SLAs under correlated grid stress.
+
+The storm-front and alarm-storm scenarios run through the scenario engine
+on every middleware and the per-leg SLA scores (deadline-miss %, loss %,
+duplicate %, burst vs steady P99) land in
+``benchmarks/results/BENCH_scenario.json`` (uploaded as a CI artifact) so
+each middleware's behaviour under correlated bursts is a reviewable
+number, not a claim.
+
+Regression gates are *shape* properties, machine-independent:
+
+* every leg must deliver messages during the bursts — burst P99 must be a
+  finite number, never ``n/a`` (the scenario actually perturbed the run);
+* the plog acks=all leg must deliver exactly-once — 0 duplicates;
+* TCP legs must not lose messages in a fault-free storm scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.scale import Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUT_PATH = RESULTS_DIR / "BENCH_scenario.json"
+
+#: Results accumulated by the tests and flushed once per session.
+_report: dict = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def scenario_report():
+    _report.update(
+        schema="repro.bench_scenario/1",
+        host={
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+    )
+    yield _report
+    RESULTS_DIR.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(_report, indent=2) + "\n", encoding="utf-8")
+
+
+def _run_scenario(experiment_id: str, scale: str, save_result) -> dict:
+    run_scale = Scale.named(scale)
+    t0 = time.perf_counter()
+    result = runner.run(experiment_id, scale=scale)
+    wall_s = time.perf_counter() - t0
+    save_result(result)
+    entry = {
+        "scale": run_scale.name,
+        "scenario": result.meta["scenario"],
+        "wall_clock_s": wall_s,
+        "scorecard_headers": list(result.table[0]),
+        "scorecard": result.meta["scorecard"],
+        "scores": result.meta["scores"],
+    }
+    _report[experiment_id] = entry
+    return entry
+
+
+def test_scenario_threeway_scorecard(scale, save_result, scenario_report):
+    entry = _run_scenario("scenario_threeway", scale, save_result)
+    scores = entry["scores"]
+
+    # shape gates (machine-independent)
+    for label, score in scores.items():
+        assert math.isfinite(score["burst_p99_ms"]), (
+            f"{label}: no deliveries during the burst windows — the "
+            "scenario never perturbed the run"
+        )
+    plog = scores["Plog (TCP, acks=all)"]
+    assert plog["duplicates"] == 0, (
+        f"plog acks=all delivered {plog['duplicates']} duplicates — the "
+        "exactly-once guarantee is broken"
+    )
+    for label in ("R-GMA (TCP)", "Plog (TCP, acks=all)"):
+        assert scores[label]["loss_pct"] == 0.0, (
+            f"{label}: lost messages in a fault-free storm scenario"
+        )
+
+
+def test_scenario_edge_storm_scorecard(scale, save_result, scenario_report):
+    entry = _run_scenario("scenario_edge_storm", scale, save_result)
+    scores = entry["scores"]
+    for label, score in scores.items():
+        assert math.isfinite(score["burst_p99_ms"]), (
+            f"{label}: no deliveries during the burst windows"
+        )
+        assert score["loss_pct"] == 0.0, (
+            f"{label}: edge tier lost messages during the alarm storm"
+        )

@@ -210,6 +210,43 @@ class FaultPlan:
         """Close one consumer (its group should rebalance around it)."""
         return self._add(FaultSpec("consumer_crash", at, 0.0, f"consumer:{consumer}"))
 
+    # ------------------------------------------------------------ composition
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose two plans into a new one (neither input is modified).
+
+        Scenario-generated faults and a user ``--fault-plan`` land on the
+        same run through this: the union of both spec lists, kept in the
+        canonical ``(at, kind, target)`` order so merge order does not
+        matter.  Exact duplicate specs collapse to one; two *different*
+        specs of the same kind with overlapping windows on the same target
+        (e.g. two loss windows on one link) are a contradiction — which
+        parameters apply mid-overlap? — and raise :class:`ValueError`
+        instead of silently stacking.
+        """
+        merged = FaultPlan()
+        seen: set[tuple] = set()
+        for spec in (*self._specs, *other._specs):
+            fingerprint = (
+                spec.kind, spec.at, spec.duration, spec.target,
+                tuple(sorted(spec.params.items())),
+            )
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            merged._add(spec)
+        by_key: dict[tuple[str, str], list[FaultSpec]] = {}
+        for spec in merged._specs:
+            by_key.setdefault((spec.kind, spec.target), []).append(spec)
+        for (kind, target), specs in by_key.items():
+            for a, b in zip(specs, specs[1:]):  # sorted by `at` already
+                if b.at < a.until or a.at == b.at:
+                    raise ValueError(
+                        f"conflicting {kind} windows on {target!r}: "
+                        f"[{a.at:g}, {a.until:g}) overlaps "
+                        f"[{b.at:g}, {b.until:g})"
+                    )
+        return merged
+
     # -------------------------------------------------------------- plumbing
     def _add(self, spec: FaultSpec) -> "FaultPlan":
         self._specs.append(spec)

@@ -233,9 +233,12 @@ def edge_point(
     seed: int = 1,
     config: Optional[EdgeConfig] = None,
     fault_plan: Any = None,
+    scenario: Any = None,
 ) -> EdgeRunResult:
     """One edge run: ``n_clients`` long-polling clients over ``n_gateways``
-    gateways in front of ``middleware``."""
+    gateways in front of ``middleware``.  ``scenario`` perturbs the
+    publisher fleet's rates and merges its fault fragment into
+    ``fault_plan``."""
     scale = scale or Scale.from_env()
     config = config or EdgeConfig()
     sim = Simulator(seed=seed)
@@ -247,6 +250,11 @@ def edge_point(
     measure_since = sim.now + creation_span + scale.warmup[1] + 4.0
     stop_at = measure_since + scale.duration
     fleet_config = _fleet_config(scale, stop_at)
+    from repro.scenario.compiler import arm_scenario, merge_fault_plan
+
+    fleet_config, compiled = arm_scenario(
+        scenario, measure_since, scale.duration, fleet_config
+    )
     topic, upstream, brokers, _deployment = _build_middleware(
         sim, cluster, transport, middleware, fleet_config, book
     )
@@ -304,14 +312,15 @@ def edge_point(
     # Clients come up once the gateways are listening and subscribed.
     sim.call_at(sim.now + 1.0, start_clients)
 
-    if fault_plan is not None:
+    plan = (
+        fault_plan(measure_since, scale.duration)
+        if callable(fault_plan)
+        else fault_plan
+    )
+    plan = merge_fault_plan(compiled, plan)
+    if plan is not None and len(plan):
         from repro.faults import FaultScheduler
 
-        plan = (
-            fault_plan(measure_since, scale.duration)
-            if callable(fault_plan)
-            else fault_plan
-        )
         # Gateways first: ``broker:0`` in a plan targets gateway 0 (the
         # stamping client's home), per the gateway_outage template.
         FaultScheduler(sim, plan).attach(

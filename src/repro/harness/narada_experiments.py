@@ -60,6 +60,8 @@ class NaradaRunResult:
     loss_rate: float
     rtts: Any  # np.ndarray of measured-window RTT seconds
     broker_stats: dict[str, Any] = field(default_factory=dict)
+    #: Redeliveries the receivers suppressed (first delivery wins).
+    duplicates: int = 0
 
 
 def _make_transport(kind: str, sim: Simulator, lan: Any) -> Any:
@@ -87,6 +89,7 @@ def narada_run(
     seed: int = 1,
     config: Optional[NaradaConfig] = None,
     fault_plan: Any = None,
+    scenario: Any = None,
     fleet_retry: Any = None,
     fleet_failover: bool = False,
 ) -> NaradaRunResult:
@@ -95,8 +98,10 @@ def narada_run(
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` or a template callable
     ``(measure_since, duration) -> FaultPlan``) arms fault injection against
-    this run; ``fleet_retry``/``fleet_failover`` give the publishers
-    retry-with-backoff and broker-failover recovery.
+    this run; ``scenario`` (a :class:`repro.scenario.Scenario` or template)
+    additionally perturbs the workload and merges its fault fragment in;
+    ``fleet_retry``/``fleet_failover`` give the publishers retry-with-backoff
+    and broker-failover recovery.
     """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
@@ -138,6 +143,11 @@ def narada_run(
         client_nodes=CLIENT_NODES,
         retry=fleet_retry,
         failover=fleet_failover,
+    )
+    from repro.scenario.compiler import arm_scenario, merge_fault_plan
+
+    fleet_config, compiled = arm_scenario(
+        scenario, measure_since, scale.duration, fleet_config
     )
     book = RecordBook()
 
@@ -193,14 +203,15 @@ def narada_run(
     )
     fleet.start()
 
-    if fault_plan is not None:
+    plan = (
+        fault_plan(measure_since, scale.duration)
+        if callable(fault_plan)
+        else fault_plan
+    )
+    plan = merge_fault_plan(compiled, plan)
+    if plan is not None and len(plan):
         from repro.faults import FaultScheduler
 
-        plan = (
-            fault_plan(measure_since, scale.duration)
-            if callable(fault_plan)
-            else fault_plan
-        )
         FaultScheduler(sim, plan).attach(
             lan=cluster.lan, cluster=cluster, brokers=brokers
         )
@@ -236,6 +247,7 @@ def narada_run(
         stddev_rtt_ms=stats.stddev_ms,
         loss_rate=stats.loss_rate,
         rtts=rtts,
+        duplicates=sum(r.duplicates for r in receivers),
         broker_stats={
             b.name: {
                 "published": b.stats.messages_published,

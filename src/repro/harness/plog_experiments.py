@@ -113,6 +113,7 @@ def plog_run(
     deadline_s: float = 5.0,
     transport_kind: str = "tcp",
     fault_plan: Any = None,
+    scenario: Any = None,
 ) -> PlogRunResult:
     """One grid-monitoring test: ``connections`` generators against a
     partitioned-log deployment of ``n_brokers`` brokers, measured in steady
@@ -120,7 +121,9 @@ def plog_run(
 
     ``fault_plan`` is either a :class:`repro.faults.FaultPlan` or a template
     callable ``(measure_since, duration) -> FaultPlan``; its events are
-    armed against this run's LAN, brokers and consumers.
+    armed against this run's LAN, brokers and consumers.  ``scenario`` (a
+    :class:`repro.scenario.Scenario` or template) additionally perturbs the
+    producers' publication rates and merges its fault fragment in.
     """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
@@ -159,6 +162,11 @@ def plog_run(
         stop_at=stop_at,
         client_nodes=CLIENT_NODES,
     )
+    from repro.scenario.compiler import arm_scenario, merge_fault_plan
+
+    fleet_config, compiled = arm_scenario(
+        scenario, measure_since, scale.duration, fleet_config
+    )
     book = RecordBook()
 
     # One consumer-group member per client node ("data were received by the
@@ -175,12 +183,13 @@ def plog_run(
     fleet.start()
 
     scheduler = None
-    if fault_plan is not None:
-        plan = (
-            fault_plan(measure_since, scale.duration)
-            if callable(fault_plan)
-            else fault_plan
-        )
+    plan = (
+        fault_plan(measure_since, scale.duration)
+        if callable(fault_plan)
+        else fault_plan
+    )
+    plan = merge_fault_plan(compiled, plan)
+    if plan is not None and len(plan):
         scheduler = FaultScheduler(sim, plan)
         scheduler.attach(
             lan=cluster.lan,

@@ -41,6 +41,8 @@ class RgmaRunResult:
     stddev_rtt_ms: float
     loss_rate: float
     rtts: Any
+    #: Redelivered tuples the consumers suppressed (first delivery wins).
+    duplicates: int = 0
 
 
 def rgma_run(
@@ -54,12 +56,15 @@ def rgma_run(
     seed: int = 1,
     config: Optional[RGMAConfig] = None,
     fault_plan: Any = None,
+    scenario: Any = None,
 ) -> RgmaRunResult:
     """One §III.F test: ``connections`` Primary Producers, two subscribers.
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` or a template callable
     ``(measure_since, duration) -> FaultPlan``) arms link- and node-level
-    fault injection; servlet stalls target the server nodes.
+    fault injection; servlet stalls target the server nodes.  ``scenario``
+    (a :class:`repro.scenario.Scenario` or template) additionally perturbs
+    the producers' publication rates and merges its fault fragment in.
     """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
@@ -116,6 +121,11 @@ def rgma_run(
         client_nodes=PUBLISH_NODES,
         skip_warmup=skip_warmup,
     )
+    from repro.scenario.compiler import arm_scenario, merge_fault_plan
+
+    fleet_config, compiled = arm_scenario(
+        scenario, measure_since, scale.duration, fleet_config
+    )
     book = RecordBook()
 
     # Two subscribers, each taking one publisher node's genid block via a
@@ -141,14 +151,15 @@ def rgma_run(
     fleet = RgmaFleet(sim, cluster, deployment, fleet_config, book)
     fleet.start()
 
-    if fault_plan is not None:
+    plan = (
+        fault_plan(measure_since, scale.duration)
+        if callable(fault_plan)
+        else fault_plan
+    )
+    plan = merge_fault_plan(compiled, plan)
+    if plan is not None and len(plan):
         from repro.faults import FaultScheduler
 
-        plan = (
-            fault_plan(measure_since, scale.duration)
-            if callable(fault_plan)
-            else fault_plan
-        )
         FaultScheduler(sim, plan).attach(lan=cluster.lan, cluster=cluster)
 
     # The SP path adds its deliberate delay to every message: extend the
@@ -183,6 +194,7 @@ def rgma_run(
         stddev_rtt_ms=stats.stddev_ms,
         loss_rate=stats.loss_rate,
         rtts=book.rtts(since=measure_since),
+        duplicates=sum(r.duplicates for r in receivers),
     )
 
 

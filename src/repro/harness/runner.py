@@ -44,10 +44,12 @@ from repro.harness import (
     narada_experiments,
     plog_experiments,
     rgma_experiments,
+    scenario_experiments,
 )
 from repro.harness.cache import DiskCache
 from repro.harness.parallel import resolve_jobs
 from repro.harness.scale import Scale
+from repro.scenario import SCENARIOS
 from repro.telemetry import context as tel_context
 
 #: Max cached sweeps.  There are ~7 sweep kinds, so one (scale, seed)
@@ -67,23 +69,27 @@ _session_tokens = itertools.count(1)
 def _cache_context() -> tuple:
     """Context folded into every sweep-cache key.
 
-    A sweep built under an active fault plan must never satisfy a later
-    fault-free lookup (or vice versa), and a sweep built outside a telemetry
-    session carries no spans — so the active fault plan and the identity of
-    the active telemetry session are part of the key.  ``run()`` maintains
-    the fault-plan half via :data:`_active_fault_plan`.
+    A sweep built under an active fault plan or scenario must never satisfy
+    a later plain lookup (or vice versa), and a sweep built outside a
+    telemetry session carries no spans — so the active fault plan, the
+    active scenario and the identity of the active telemetry session are
+    part of the key.  ``run()`` maintains the plan/scenario halves via
+    :data:`_active_fault_plan` / :data:`_active_scenario`.
     """
     tel = tel_context.current()
     if tel is None:
-        return (_active_fault_plan, None)
+        return (_active_fault_plan, _active_scenario, None)
     token = getattr(tel, "_sweep_cache_token", None)
     if token is None:
         token = next(_session_tokens)
         tel._sweep_cache_token = token
-    return (_active_fault_plan, token)
+    return (_active_fault_plan, _active_scenario, token)
 
 
 _active_fault_plan: Optional[str] = None
+
+#: Scenario name the current ``run()`` call armed (scenario experiments).
+_active_scenario: Optional[str] = None
 
 #: Worker count sweep builders pass to ``run_scaling_sweep`` (set per call
 #: by :func:`run`, the way ``_active_fault_plan`` is).
@@ -94,14 +100,14 @@ _cache_enabled: bool = True
 
 
 def _disk_key(key: tuple) -> tuple:
-    """The on-disk key: the sweep key plus the active fault plan.
+    """The on-disk key: the sweep key plus the active fault plan/scenario.
 
-    A sweep built under a fault plan must be namespaced away from the
-    fault-free entry even across processes.  (The telemetry half of
+    A sweep built under a fault plan or scenario must be namespaced away
+    from the plain entry even across processes.  (The telemetry part of
     :func:`_cache_context` is deliberately absent: the disk tier is
     skipped outright while a session is active.)
     """
-    return key + (_active_fault_plan,)
+    return key + (_active_fault_plan, _active_scenario)
 
 
 def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
@@ -576,6 +582,85 @@ def _edge_gateway_crash(
 ) -> ExperimentResult:
     return edge_experiments.run_gateway_crash(
         scale=scale, seed=seed, fault_plan=fault_plan
+    )
+
+
+# ----------------------------------------------------- scenario experiments
+
+#: Experiments that accept ``--scenario`` (and, like the chaos ones,
+#: ``--fault-plan`` — a scenario's own faults merge with the named plan).
+SCENARIO_EXPERIMENTS = ("scenario_threeway", "scenario_edge_storm")
+
+#: Default scenario per experiment when ``--scenario`` is not given.
+_SCENARIO_DEFAULT = {
+    "scenario_threeway": "storm_front",
+    "scenario_edge_storm": "alarm_storm",
+}
+
+
+def _scenario_threeway(
+    scale: Scale,
+    seed: int,
+    scenario: str = "storm_front",
+    fault_plan: Optional[str] = None,
+) -> ExperimentResult:
+    """Cached leg-set, then the scorecard.  The key folds the scenario's
+    *structure* (:func:`scenario_experiments.scenario_cache_key`) so library
+    edits invalidate cached legs; the active fault plan and scenario name
+    namespace both tiers via :func:`_cache_context`/:func:`_disk_key`."""
+    key = (
+        "scenario_threeway",
+        scenario_experiments.scenario_cache_key(scenario),
+        scale.cache_key(),
+        seed,
+    )
+    outcomes = _cached(
+        key,
+        lambda: scenario_experiments.threeway_outcomes(
+            scale=scale,
+            seed=seed,
+            scenario=scenario,
+            fault_plan=fault_plan,
+            jobs=_jobs,
+        ),
+    )
+    return scenario_experiments.scenario_threeway(
+        scale=scale,
+        seed=seed,
+        scenario=scenario,
+        fault_plan=fault_plan,
+        outcomes=outcomes,
+    )
+
+
+def _scenario_edge_storm(
+    scale: Scale,
+    seed: int,
+    scenario: str = "alarm_storm",
+    fault_plan: Optional[str] = None,
+) -> ExperimentResult:
+    key = (
+        "scenario_edge_storm",
+        scenario_experiments.scenario_cache_key(scenario),
+        scale.cache_key(),
+        seed,
+    )
+    outcomes = _cached(
+        key,
+        lambda: scenario_experiments.edge_outcomes(
+            scale=scale,
+            seed=seed,
+            scenario=scenario,
+            fault_plan=fault_plan,
+            jobs=_jobs,
+        ),
+    )
+    return scenario_experiments.scenario_edge_storm(
+        scale=scale,
+        seed=seed,
+        scenario=scenario,
+        fault_plan=fault_plan,
+        outcomes=outcomes,
     )
 
 
@@ -1121,6 +1206,8 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "chaos_broker_failover": _chaos_broker_failover,
     "chaos_replication": _chaos_replication,
     "chaos_adaptive_backoff": _chaos_adaptive_backoff,
+    "scenario_threeway": _scenario_threeway,
+    "scenario_edge_storm": _scenario_edge_storm,
     "ablation_dbn_routing": _ablation_dbn_routing,
     "ablation_udp_ack": _ablation_udp_ack,
     "ablation_rgma_mediator": _ablation_rgma_mediator,
@@ -1164,6 +1251,8 @@ DESCRIPTIONS: dict[str, str] = {
     "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover vs RF=2",
     "chaos_replication": "Plog durability ladder under a broker crash: RF x acks",
     "chaos_adaptive_backoff": "Plog retry: fixed vs RTT-adaptive backoff",
+    "scenario_threeway": "One grid scenario on all three middlewares, SLA scorecard",
+    "scenario_edge_storm": "One grid scenario through the edge tier, SLA scorecard",
     "ablation_dbn_routing": "DBN broadcast flaw vs subscription-aware routing",
     "ablation_udp_ack": "UDP with and without the JMS ack protocol",
     "ablation_rgma_mediator": "R-GMA process time vs consumer per-tuple cost",
@@ -1189,18 +1278,21 @@ def run(
     scale: Optional[Scale | str] = None,
     seed: int = 1,
     fault_plan: Optional[str] = None,
+    scenario: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: bool = True,
 ) -> ExperimentResult:
     """Run one experiment by id; returns its :class:`ExperimentResult`.
 
-    ``fault_plan`` selects a named fault schedule for the chaos experiments
-    and is an error for any other experiment id.  ``jobs`` fans the sweep
-    points out over that many worker processes (default: ``$REPRO_JOBS``,
-    else serial — results are identical either way); ``cache=False``
-    bypasses both sweep-cache tiers for this call.
+    ``fault_plan`` selects a named fault schedule for the chaos and
+    scenario experiments and is an error for any other experiment id;
+    ``scenario`` selects a scenario script for the scenario experiments
+    only.  ``jobs`` fans the sweep points out over that many worker
+    processes (default: ``$REPRO_JOBS``, else serial — results are
+    identical either way); ``cache=False`` bypasses both sweep-cache tiers
+    for this call.
     """
-    global _active_fault_plan, _jobs, _cache_enabled
+    global _active_fault_plan, _active_scenario, _jobs, _cache_enabled
     if isinstance(scale, str):
         scale = Scale.named(scale)
     scale = scale or Scale.from_env()
@@ -1210,14 +1302,37 @@ def run(
         raise ValueError(
             f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}"
         ) from None
-    if experiment_id not in CHAOS_EXPERIMENTS and fault_plan is not None:
+    if (
+        experiment_id not in CHAOS_EXPERIMENTS
+        and experiment_id not in SCENARIO_EXPERIMENTS
+        and fault_plan is not None
+    ):
         raise ValueError(
             f"--fault-plan only applies to chaos experiments "
-            f"{CHAOS_EXPERIMENTS}, not {experiment_id!r}"
+            f"{CHAOS_EXPERIMENTS} and scenario experiments "
+            f"{SCENARIO_EXPERIMENTS}, not {experiment_id!r}"
+        )
+    if scenario is not None and experiment_id not in SCENARIO_EXPERIMENTS:
+        raise ValueError(
+            f"--scenario only applies to scenario experiments "
+            f"{SCENARIO_EXPERIMENTS}, not {experiment_id!r}"
         )
     previous_jobs, _jobs = _jobs, resolve_jobs(jobs)
     previous_cache, _cache_enabled = _cache_enabled, _cache_enabled and cache
     try:
+        if experiment_id in SCENARIO_EXPERIMENTS:
+            chosen = scenario or _SCENARIO_DEFAULT[experiment_id]
+            if chosen not in SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {chosen!r}; choose from {sorted(SCENARIOS)}"
+                )
+            previous_plan, _active_fault_plan = _active_fault_plan, fault_plan
+            previous_scenario, _active_scenario = _active_scenario, chosen
+            try:
+                return fn(scale, seed, scenario=chosen, fault_plan=fault_plan)
+            finally:
+                _active_fault_plan = previous_plan
+                _active_scenario = previous_scenario
         if experiment_id in CHAOS_EXPERIMENTS:
             plan = fault_plan or _CHAOS_DEFAULT_PLAN[experiment_id]
             previous_plan = _active_fault_plan
@@ -1265,7 +1380,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--fault-plan",
         default=None,
         choices=sorted(PLANS),
-        help="fault schedule for the chaos experiments",
+        help="fault schedule for the chaos/scenario experiments",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        choices=sorted(SCENARIOS),
+        help="scenario script for the scenario experiments",
     )
     parser.add_argument(
         "--trace",
@@ -1299,12 +1420,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     jobs = resolve_jobs(args.jobs, default=os.cpu_count() or 1)
     with ctx:
         for experiment_id in ids:
-            plan = args.fault_plan if experiment_id in CHAOS_EXPERIMENTS else None
+            plan = (
+                args.fault_plan
+                if experiment_id in CHAOS_EXPERIMENTS
+                or experiment_id in SCENARIO_EXPERIMENTS
+                else None
+            )
+            scenario = (
+                args.scenario
+                if experiment_id in SCENARIO_EXPERIMENTS
+                else None
+            )
             result = run(
                 experiment_id,
                 scale=args.scale,
                 seed=args.seed,
                 fault_plan=plan,
+                scenario=scenario,
                 jobs=jobs,
                 cache=not args.no_cache,
             )

@@ -385,6 +385,20 @@ class PlogProducer:
                 pending.event.succeed(True)
 
     # ----------------------------------------------------------------- admin
+    def flush(self) -> Generator[Any, Any, None]:
+        """Drain lingering batches and in-flight requests (close barrier).
+
+        Kafka's ``close()`` flushes before tearing channels down; without
+        this a record sent within ``linger`` of the producer's shutdown is
+        silently dropped.  Bounded by the retry policy: exhausted flushes
+        count as ``send_failures`` and release their window slot.
+        """
+        for bkey in list(self._batches):
+            self._start_flush(bkey)
+        poll = max(self.config.linger, 0.001)
+        while any(self._inflight.values()) or any(self._flush_queue.values()):
+            yield self.sim.timeout(poll)
+
     def close(self) -> None:
         self.closed = True
         for channel in self._channels.values():

@@ -12,6 +12,7 @@ paper's staggered creation and randomised warm-up, and recording receivers.
 
 from repro.powergrid.generator import GeneratorState, PowerGenerator
 from repro.powergrid.payload import narada_map_message, rgma_row
+from repro.powergrid.rates import RateSchedule, RateWindow, rate_sleep
 from repro.powergrid.workload import (
     FleetConfig,
     NaradaFleet,
@@ -28,8 +29,11 @@ __all__ = [
     "PlogFleet",
     "PlogReceiver",
     "PowerGenerator",
+    "RateSchedule",
+    "RateWindow",
     "RgmaFleet",
     "RgmaReceiver",
     "narada_map_message",
+    "rate_sleep",
     "rgma_row",
 ]

@@ -56,6 +56,7 @@ class NaradaReceiver:
         self.client_ack_batch = client_ack_batch
         self.config = config
         self.received = 0
+        self.duplicates = 0
         self.connected = False
 
     def start(self) -> Generator[Any, Any, None]:
@@ -81,13 +82,21 @@ class NaradaReceiver:
         self.received += 1
         record = getattr(message, "_record", None)
         if record is not None:
-            record.t_arrived = getattr(message, "_t_arrived_client", self.sim.now)
-            record.t_received = self.sim.now
-            tel = _telemetry()
-            if tel is not None:
-                tel.mark(
-                    record, "delivered", self.sim.now, "narada", self.node_name
+            # First delivery wins: a retried publish reaching a second
+            # subscriber path counts once (the duplicate-% scorecard column).
+            if record.t_received is not None:
+                self.duplicates += 1
+            else:
+                record.t_arrived = getattr(
+                    message, "_t_arrived_client", self.sim.now
                 )
+                record.t_received = self.sim.now
+                tel = _telemetry()
+                if tel is not None:
+                    tel.mark(
+                        record, "delivered", self.sim.now, "narada",
+                        self.node_name,
+                    )
         if (
             self.ack_mode == AckMode.CLIENT_ACKNOWLEDGE
             and self.received % self.client_ack_batch == 0
@@ -178,6 +187,7 @@ class RgmaReceiver:
         self.producer_type = producer_type
         self.poll_interval = poll_interval
         self.received = 0
+        self.duplicates = 0
         self.connected = False
 
     def start(self) -> Generator[Any, Any, None]:
@@ -194,6 +204,10 @@ class RgmaReceiver:
         self.received += 1
         record = t.meta.get("record")
         if record is not None:
+            # A republished tuple (e.g. via a Secondary Producer) counts once.
+            if record.t_received is not None:
+                self.duplicates += 1
+                return
             record.t_arrived = t.meta.get("t_poll_start", self.sim.now)
             record.t_received = self.sim.now
             tel = _telemetry()

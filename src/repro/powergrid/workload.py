@@ -22,6 +22,7 @@ from repro.jms.message import MapMessage
 from repro.narada.client import narada_connection_factory
 from repro.powergrid.generator import PowerGenerator
 from repro.powergrid.payload import narada_map_message, rgma_row
+from repro.powergrid.rates import RateSchedule, rate_sleep
 from repro.transport.base import ChannelClosed, MessageLost, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,9 @@ class FleetConfig:
     #: On a dead connection, fail over to the next broker address instead
     #: of reconnecting to the same one (needs >1 broker to matter).
     failover: bool = False
+    #: Mid-run per-generator rate overrides (``repro.scenario`` compiles
+    #: scenario events into one).  ``None`` keeps the paper's fixed rates.
+    rates: Optional[RateSchedule] = None
 
     def node_index(self, gen_id: int) -> int:
         """Which client node hosts generator ``gen_id``."""
@@ -240,7 +244,7 @@ class NaradaFleet:
                             continue  # broker still down; back off again
             if not published:
                 self.stats.publish_failures += 1
-            yield sim.timeout(interval)
+            yield from rate_sleep(sim, fleet.rates, gen_id, interval, stop_at)
         connection.close()
 
 
@@ -342,7 +346,11 @@ class PlogFleet:
                 )
             except ChannelClosed:
                 self.stats.publish_failures += 1
-            yield sim.timeout(interval)
+            yield from rate_sleep(sim, fleet.rates, gen_id, interval, stop_at)
+        # Graceful shutdown: a record sent within ``linger`` of the loop's
+        # last iteration is still batched client-side — drain it before
+        # tearing the channels down, like Kafka's flushing close().
+        yield from producer.flush()
         producer.close()
 
 
@@ -419,5 +427,7 @@ class RgmaFleet:
                 record.t_after_send = sim.now
             except (RGMAException, ChannelClosed, TransportError):
                 self.stats.publish_failures += 1
-            yield sim.timeout(fleet.publish_interval)
+            yield from rate_sleep(
+                sim, fleet.rates, gen_id, fleet.publish_interval, stop_at
+            )
         yield from client.close()

@@ -1,0 +1,135 @@
+"""The scenario library: named grid days, parameterized by the window.
+
+A template maps the steady-state measurement window onto a concrete
+:class:`~repro.scenario.events.Scenario` — ``template(measure_since,
+duration)`` — mirroring :data:`repro.faults.PLANS`, so the same
+``--scenario storm_front`` lands its events inside the measured window at
+every scale preset and for every middleware's (different) warmup length.
+
+Four scripted days:
+
+``storm_front``
+    A weather front crossing the grid west to east: each region raises a
+    correlated alarm burst in turn, ramping up as the front arrives.  Pure
+    workload (no infrastructure faults), so the plog ``acks=all`` leg must
+    score 0 duplicates — the benchmark's shape gate.
+``cascading_trip``
+    A substation trips offline; the neighboring region picks up its load
+    and its telemetry rate surges; ``propagation`` seconds later the surge
+    trips *that* region's substation too.  Workload and faults feed each
+    other — the scenario engine's reason to exist.
+``alarm_storm``
+    Fleet-wide correlated alarms (a frequency excursion every device sees
+    at once): one tall burst with a short ramp.
+``dispatch_surge``
+    A storage-fleet dispatch signal: every battery site starts reporting
+    state-of-charge at a higher rate for half the window.  Broad and
+    shallow where ``alarm_storm`` is sharp and tall.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.scenario.events import Scenario
+
+#: A template maps the measurement window onto a concrete scenario.
+ScenarioTemplate = Callable[[float, float], Scenario]
+
+
+def storm_front(measure_since: float, duration: float) -> Scenario:
+    """A moving regional burst: each of 4 regions surges in turn."""
+    scenario = Scenario(
+        "storm_front",
+        n_regions=4,
+        description="weather front sweeps the regions west to east",
+    )
+    burst = 0.25 * duration
+    for region in range(scenario.n_regions):
+        scenario.alarm_storm(
+            at=measure_since + (0.05 + 0.17 * region) * duration,
+            duration=burst,
+            region=region,
+            multiplier=6.0,
+            ramp=0.25 * burst,
+        )
+    return scenario
+
+
+def cascading_trip(
+    measure_since: float, duration: float, propagation: float = 0.08
+) -> Scenario:
+    """Fault -> neighbor overload -> next fault, ``propagation``·duration apart."""
+    scenario = Scenario(
+        "cascading_trip",
+        n_regions=4,
+        description="substation trip cascades through neighboring regions",
+    )
+    step = propagation * duration
+    outage = 0.2 * duration
+    surge = 0.25 * duration
+    t = measure_since + 0.15 * duration
+    for region in range(2):
+        scenario.substation_outage(at=t, duration=outage, region=region)
+        scenario.alarm_storm(
+            at=t + step,
+            duration=surge,
+            region=region + 1,
+            multiplier=5.0,
+            ramp=0.2 * surge,
+        )
+        t += 2 * step
+    return scenario
+
+
+def alarm_storm(measure_since: float, duration: float) -> Scenario:
+    """One fleet-wide correlated alarm burst, tall with a short ramp."""
+    scenario = Scenario(
+        "alarm_storm",
+        n_regions=4,
+        description="fleet-wide correlated alarms (frequency excursion)",
+    )
+    burst = 0.3 * duration
+    scenario.alarm_storm(
+        at=measure_since + 0.3 * duration,
+        duration=burst,
+        region=None,
+        multiplier=8.0,
+        ramp=0.1 * burst,
+    )
+    return scenario
+
+
+def dispatch_surge(measure_since: float, duration: float) -> Scenario:
+    """Storage-fleet dispatch: broad, shallow fleet-wide rate lift."""
+    scenario = Scenario(
+        "dispatch_surge",
+        n_regions=4,
+        description="storage fleet dispatched; state-of-charge reporting surges",
+    )
+    scenario.alarm_storm(
+        at=measure_since + 0.2 * duration,
+        duration=0.5 * duration,
+        region=None,
+        multiplier=3.0,
+        ramp=0.05 * duration,
+    )
+    return scenario
+
+
+#: ``--scenario`` registry: name -> template.
+SCENARIOS: Dict[str, ScenarioTemplate] = {
+    "storm_front": storm_front,
+    "cascading_trip": cascading_trip,
+    "alarm_storm": alarm_storm,
+    "dispatch_surge": dispatch_surge,
+}
+
+
+def named_scenario(name: str) -> ScenarioTemplate:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,161 @@
+"""SLA scoring: one scenario leg -> one scorecard row.
+
+The paper's §I contract — soft real time, delivery within seconds, late or
+lost below a small fraction — becomes a per-leg :class:`LegScore` computed
+over the measurement window from the same record book every other metric
+uses: deadline-miss % (late *or* lost, against the 5 s soft-real-time
+deadline), loss %, duplicate % (redeliveries the receiver suppressed), and
+during-burst vs steady-state P99 RTT sliced by *send* time through
+:class:`~repro.telemetry.windows.WindowedQuantiles`.
+
+Everything here is pure arithmetic over finished runs, and every number is
+formatted at fixed precision — two runs with the same seed render
+byte-identical scorecards (asserted by ``tests/harness/test_scenario.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.telemetry.windows import (
+    TimeWindow,
+    WindowedQuantiles,
+    complement_windows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.records import RecordBook
+
+#: §I's soft-real-time delivery deadline (seconds).
+DEADLINE_S = 5.0
+
+
+@dataclass(frozen=True)
+class LegScore:
+    """One middleware leg's SLA numbers for one scenario."""
+
+    label: str
+    sent: int
+    delivered: int
+    duplicates: int
+    #: Late (RTT > deadline) or lost, as % of sent.
+    deadline_miss_pct: float
+    #: Lost (never delivered), as % of sent.
+    loss_pct: float
+    #: Suppressed redeliveries, as % of delivered.
+    duplicate_pct: float
+    #: P99 RTT (ms) over messages *sent* during a burst window.
+    burst_p99_ms: float
+    #: P99 RTT (ms) over messages sent in calm air.
+    steady_p99_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "duplicates": self.duplicates,
+            "deadline_miss_pct": self.deadline_miss_pct,
+            "loss_pct": self.loss_pct,
+            "duplicate_pct": self.duplicate_pct,
+            "burst_p99_ms": self.burst_p99_ms,
+            "steady_p99_ms": self.steady_p99_ms,
+        }
+
+
+def sla_windows(
+    burst: Sequence[TimeWindow], measure_since: float, stop_at: float
+) -> tuple[TimeWindow, ...]:
+    """Burst windows clipped to the measurement window, plus the steady
+    complement — together they tile ``[measure_since, stop_at)``."""
+    clipped = tuple(
+        TimeWindow("burst", max(w.start, measure_since), min(w.end, stop_at))
+        for w in burst
+        if w.end > measure_since and w.start < stop_at
+    )
+    steady = complement_windows(clipped, measure_since, stop_at, "steady")
+    return clipped + steady
+
+
+def score_leg(
+    label: str,
+    book: "RecordBook",
+    *,
+    measure_since: float,
+    stop_at: float,
+    burst: Sequence[TimeWindow],
+    duplicates: int = 0,
+    deadline_s: float = DEADLINE_S,
+) -> LegScore:
+    """Score one finished run's record book against the scenario SLA."""
+    records = [
+        r
+        for r in book.records
+        if measure_since <= r.t_before_send < stop_at
+    ]
+    sent = len(records)
+    delivered = [r for r in records if r.delivered]
+    lost = sent - len(delivered)
+    late = sum(1 for r in delivered if r.rtt > deadline_s)
+
+    quantiles = WindowedQuantiles(sla_windows(burst, measure_since, stop_at))
+    for record in delivered:
+        quantiles.observe(record.t_before_send, record.rtt)
+
+    def _pct(num: int, denom: int) -> float:
+        return 100.0 * num / denom if denom else 0.0
+
+    def _p99(window_label: str) -> float:
+        if window_label not in quantiles.labels:
+            return float("nan")
+        return quantiles.p99_ms(window_label)
+
+    return LegScore(
+        label=label,
+        sent=sent,
+        delivered=len(delivered),
+        duplicates=duplicates,
+        deadline_miss_pct=_pct(late + lost, sent),
+        loss_pct=_pct(lost, sent),
+        duplicate_pct=_pct(duplicates, len(delivered)),
+        burst_p99_ms=_p99("burst"),
+        steady_p99_ms=_p99("steady"),
+    )
+
+
+SCORECARD_HEADERS = (
+    "leg",
+    "sent",
+    "delivered",
+    "deadline miss",
+    "loss",
+    "dup",
+    "burst P99 (ms)",
+    "steady P99 (ms)",
+)
+
+
+def _fmt_ms(value: float) -> str:
+    return "n/a" if value != value else f"{value:.3f}"  # NaN check
+
+
+def scorecard_row(score: LegScore) -> tuple[str, ...]:
+    """One leg as fixed-precision strings (same seed => same bytes)."""
+    return (
+        score.label,
+        str(score.sent),
+        str(score.delivered),
+        f"{score.deadline_miss_pct:.3f}%",
+        f"{score.loss_pct:.3f}%",
+        f"{score.duplicate_pct:.3f}%",
+        _fmt_ms(score.burst_p99_ms),
+        _fmt_ms(score.steady_p99_ms),
+    )
+
+
+def scorecard(
+    scores: Sequence[LegScore],
+) -> tuple[tuple[str, ...], list[tuple[str, ...]]]:
+    """(headers, rows) in ``ExperimentResult.table`` form."""
+    return SCORECARD_HEADERS, [scorecard_row(s) for s in scores]

@@ -44,6 +44,11 @@ from repro.telemetry.merge import (
 )
 from repro.telemetry.samplers import ResourceSample, ResourceSampler
 from repro.telemetry.spans import PHASES, Span, Tracer, phase_breakdown
+from repro.telemetry.windows import (
+    TimeWindow,
+    WindowedQuantiles,
+    complement_windows,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -64,8 +69,11 @@ __all__ = [
     "ResourceSampler",
     "Span",
     "Telemetry",
+    "TimeWindow",
     "Tracer",
+    "WindowedQuantiles",
     "activate",
+    "complement_windows",
     "current",
     "deactivate",
     "export_telemetry",

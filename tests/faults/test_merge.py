@@ -1,0 +1,58 @@
+"""FaultPlan.merge: deterministic composition + overlap validation."""
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+def test_merge_unions_and_orders_canonically():
+    a = FaultPlan().packet_loss(at=50.0, duration=5.0, probability=0.2)
+    b = FaultPlan().broker_crash(at=10.0, broker="broker:1", restart_after=5.0)
+    merged = a.merge(b)
+    assert [s.kind for s in merged] == ["broker_crash", "packet_loss"]
+    assert len(a) == 1 and len(b) == 1  # inputs untouched
+
+
+def test_merge_is_order_independent():
+    a = FaultPlan().latency(at=30.0, duration=5.0, extra=0.01)
+    b = FaultPlan().partition(at=10.0, duration=5.0, hosts=("hydra7",))
+    assert [s.kind for s in a.merge(b)] == [s.kind for s in b.merge(a)]
+
+
+def test_merge_dedupes_identical_specs():
+    a = FaultPlan().packet_loss(at=50.0, duration=5.0, probability=0.2)
+    b = FaultPlan().packet_loss(at=50.0, duration=5.0, probability=0.2)
+    assert len(a.merge(b)) == 1
+
+
+def test_merge_rejects_conflicting_windows_on_the_same_link():
+    """Two different loss windows on one link overlapping in time is a
+    contradiction, not a stack."""
+    a = FaultPlan().packet_loss(at=50.0, duration=10.0, probability=0.2)
+    b = FaultPlan().packet_loss(at=55.0, duration=10.0, probability=0.5)
+    with pytest.raises(ValueError, match="conflicting packet_loss windows"):
+        a.merge(b)
+    with pytest.raises(ValueError, match="conflicting packet_loss windows"):
+        b.merge(a)
+
+
+def test_merge_rejects_same_start_zero_duration_conflicts():
+    a = FaultPlan().consumer_crash(at=50.0, consumer=0)
+    b = FaultPlan()._add(a.specs[0].__class__(
+        "consumer_crash", 50.0, 0.0, "consumer:0", {"why": "other"}
+    ))
+    with pytest.raises(ValueError, match="conflicting consumer_crash"):
+        a.merge(b)
+
+
+def test_merge_allows_adjacent_and_disjoint_windows():
+    a = FaultPlan().packet_loss(at=50.0, duration=10.0, probability=0.2)
+    b = FaultPlan().packet_loss(at=60.0, duration=10.0, probability=0.5)
+    merged = a.merge(b)
+    assert [s.at for s in merged] == [50.0, 60.0]
+
+
+def test_merge_allows_overlap_on_different_targets():
+    a = FaultPlan().packet_loss(at=50.0, duration=10.0, probability=0.2, src="hydra5")
+    b = FaultPlan().packet_loss(at=55.0, duration=10.0, probability=0.5, src="hydra6")
+    assert len(a.merge(b)) == 2

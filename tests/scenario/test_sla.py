@@ -1,0 +1,101 @@
+"""SLA scorer: miss/loss/dup percentages and windowed P99s."""
+
+import math
+
+import pytest
+
+from repro.core import RecordBook
+from repro.scenario import (
+    SCORECARD_HEADERS,
+    score_leg,
+    scorecard,
+    scorecard_row,
+    sla_windows,
+)
+from repro.telemetry import TimeWindow
+
+
+def _book(entries):
+    """entries: (t_send, rtt_or_None)."""
+    book = RecordBook()
+    for i, (t, rtt) in enumerate(entries):
+        record = book.new_record(gen_id=0, seq=i, t_before_send=t)
+        if rtt is not None:
+            record.t_received = t + rtt
+    return book
+
+
+def test_sla_windows_tile_the_measurement_window():
+    windows = sla_windows(
+        [TimeWindow("burst", 110.0, 120.0)], 100.0, 130.0
+    )
+    assert [(w.label, w.start, w.end) for w in windows] == [
+        ("burst", 110.0, 120.0),
+        ("steady", 100.0, 110.0),
+        ("steady", 120.0, 130.0),
+    ]
+    # Bursts beyond the window clip; fully-outside bursts vanish.
+    windows = sla_windows(
+        [TimeWindow("burst", 125.0, 150.0), TimeWindow("burst", 0.0, 50.0)],
+        100.0,
+        130.0,
+    )
+    assert [(w.label, w.start, w.end) for w in windows] == [
+        ("burst", 125.0, 130.0),
+        ("steady", 100.0, 125.0),
+    ]
+
+
+def test_score_leg_counts_late_lost_and_duplicates():
+    book = _book([
+        (100.0, 0.010),   # steady, fine
+        (105.0, None),    # steady, lost
+        (111.0, 0.020),   # burst, fine
+        (112.0, 6.0),     # burst, late (over the 5 s deadline)
+        (90.0, 0.010),    # before the window: ignored
+        (130.0, 0.010),   # at stop: ignored
+    ])
+    score = score_leg(
+        "leg",
+        book,
+        measure_since=100.0,
+        stop_at=130.0,
+        burst=[TimeWindow("burst", 110.0, 120.0)],
+        duplicates=1,
+    )
+    assert score.sent == 4
+    assert score.delivered == 3
+    assert score.loss_pct == 25.0
+    assert score.deadline_miss_pct == 50.0  # 1 late + 1 lost of 4
+    assert score.duplicate_pct == 100.0 / 3
+    assert score.burst_p99_ms > 20.0
+    assert score.steady_p99_ms == pytest.approx(10.0)
+
+
+def test_score_leg_empty_slices_are_nan_not_crash():
+    score = score_leg(
+        "leg",
+        _book([(101.0, 0.010)]),
+        measure_since=100.0,
+        stop_at=110.0,
+        burst=[],
+        duplicates=0,
+    )
+    assert math.isnan(score.burst_p99_ms)
+    assert score.steady_p99_ms == pytest.approx(10.0)
+    assert score.deadline_miss_pct == 0.0
+
+
+def test_scorecard_renders_fixed_precision_strings():
+    score = score_leg(
+        "leg",
+        _book([(101.0, 0.0105)]),
+        measure_since=100.0,
+        stop_at=110.0,
+        burst=[],
+    )
+    row = scorecard_row(score)
+    assert row == ("leg", "1", "1", "0.000%", "0.000%", "0.000%", "n/a", "10.500")
+    headers, rows = scorecard([score])
+    assert headers == SCORECARD_HEADERS
+    assert rows == [row]
