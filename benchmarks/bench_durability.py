@@ -1,0 +1,125 @@
+"""Durable delivery parity under the gauntlet, as a machine-readable gate.
+
+``chaos_durability`` runs the Narada durable-subscription leg and the plog
+idempotent leg (R-GMA TCP as the control) through the same
+``durability_gauntlet`` plan — broker crash + consumer crash + partition —
+and the headline is a parity claim: **0.00 % loss and 0 duplicates on both
+broker paths**.  This bench re-runs it, writes every leg's delivery and
+recovery counters to ``benchmarks/results/BENCH_durability.json`` (a CI
+artifact), and gates the shape properties:
+
+* every leg delivers with zero loss *and* zero duplicates;
+* the faults were real — the durable receivers reconnected and the plog
+  re-elected leaders — so the zeros are recovery, not a quiet run;
+* the plog leg's exactly-once bookkeeping holds: no acknowledged record
+  lost, post-rebalance redeliveries absorbed by the sink index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUT_PATH = RESULTS_DIR / "BENCH_durability.json"
+
+NARADA_LEG = "Narada durable (TCP, retry)"
+RGMA_LEG = "R-GMA (TCP)"
+PLOG_LEG = "Plog idempotent (TCP, RF=2, acks=all)"
+
+#: Results accumulated by the test and flushed once per session.
+_report: dict = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def durability_report():
+    _report.update(
+        schema="repro.bench_durability/1",
+        host={
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+    )
+    yield _report
+    RESULTS_DIR.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(_report, indent=2) + "\n", encoding="utf-8")
+
+
+def test_chaos_durability(benchmark, scale, save_result, durability_report):
+    result = run_experiment(benchmark, "chaos_durability", scale, save_result)
+    runs = result.meta["runs"]
+    narada = runs[NARADA_LEG]
+    rgma = runs[RGMA_LEG]
+    plog = runs[PLOG_LEG]
+
+    durability_report["chaos_durability"] = {
+        "scale": scale,
+        "fault_plan": result.meta["fault_plan"],
+        "legs": {
+            NARADA_LEG: {
+                "sent": narada.sent,
+                "received": narada.received,
+                "loss_rate": narada.loss_rate,
+                "duplicates": narada.duplicates,
+                "redeliveries": narada.redeliveries,
+                "messages_replayed": narada.messages_replayed,
+                "receiver_reconnects": narada.receiver_reconnects,
+            },
+            RGMA_LEG: {
+                "sent": rgma.sent,
+                "received": rgma.received,
+                "loss_rate": rgma.loss_rate,
+                "duplicates": rgma.duplicates,
+            },
+            PLOG_LEG: {
+                "sent": plog.sent,
+                "received": plog.received,
+                "loss_rate": plog.loss_rate,
+                "duplicates": plog.duplicates,
+                "redeliveries": plog.redeliveries,
+                "duplicate_batches": plog.duplicate_batches,
+                "fenced_commits": plog.fenced_commits,
+                "elections": plog.elections,
+                "coordinator_elections": plog.coordinator_elections,
+                "acked": plog.acked,
+                "acked_lost": plog.acked_lost,
+            },
+        },
+    }
+
+    # The parity headline: zero loss AND zero duplicates on every leg.
+    for label, run in runs.items():
+        assert run.sent > 0, f"{label} published nothing"
+        assert run.loss_rate == 0.0, (
+            f"{label} lost {run.sent - run.received} of {run.sent} messages"
+        )
+        assert run.duplicates == 0, (
+            f"{label} counted {run.duplicates} duplicate deliveries"
+        )
+
+    # The zeros must come from recovery, not from a fault-free run: the
+    # broker crash forced the supervised durable receivers to reconnect
+    # and re-subscribe, and forced plog leader (re-)elections.
+    assert narada.receiver_reconnects > 0, (
+        "no supervised reconnects: the broker crash never hit the receivers"
+    )
+    assert plog.elections > 0, "no leader elections: the broker crash was a no-op"
+
+    # Plog exactly-once bookkeeping: the acks=all + RF=2 contract held and
+    # the consumer-crash rebalance was absorbed by the shared sink index.
+    assert plog.acked > 0
+    assert plog.acked_lost == 0, (
+        f"{plog.acked_lost} acknowledged records lost across failover"
+    )
+    assert plog.redeliveries > 0, (
+        "no post-rebalance redeliveries absorbed: the consumer crash "
+        "never exercised the sink dedup"
+    )

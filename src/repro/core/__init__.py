@@ -7,6 +7,7 @@ percentile of RTT, loss rate — plus the §III.F.2 decomposition
 Table III.
 """
 
+from repro.core.dedup import DedupIndex
 from repro.core.records import MessageRecord, RecordBook
 from repro.core.metrics import (
     PhaseBreakdown,
@@ -21,6 +22,7 @@ from repro.core.report import render_series, render_table
 from repro.core.comparison import Rating, rate_middleware, table_iii
 
 __all__ = [
+    "DedupIndex",
     "ExperimentResult",
     "MessageRecord",
     "PhaseBreakdown",

@@ -1,0 +1,120 @@
+"""Shared ``(source, seq)`` delivery deduplication.
+
+Every exactly-once path in the system rests on the same primitive: a
+publisher-scoped, monotonically numbered stream in which redeliveries
+(retries, replays, failover overlap) must be detected and suppressed.  The
+edge tier's long-poll clients, Narada durable-subscription replay and the
+plog idempotent-producer broker state all share :class:`DedupIndex` rather
+than growing three parallel implementations.
+
+The index is compact by construction: per source it keeps a contiguous
+*floor* (every sequence at or below it has been seen) plus a sparse set of
+out-of-order sightings above the floor.  An in-order stream therefore costs
+O(1) memory per source no matter how long it runs; reordering costs memory
+proportional to the reordering window only, and the floor advances to
+swallow the sparse set as gaps fill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+
+class DedupIndex:
+    """First-sighting index over ``(source, seq)`` delivery keys.
+
+    ``mark()`` returns ``True`` exactly once per key — callers deliver on
+    ``True`` and count a suppressed redelivery on ``False``.  Sequences are
+    integers, assumed to start at 0 (or any non-negative value) and to be
+    assigned contiguously per source by the publisher.
+    """
+
+    def __init__(self) -> None:
+        #: source -> highest seq S such that all of 0..S have been seen.
+        self._floor: Dict[Hashable, int] = {}
+        #: source -> out-of-order sightings above the floor.
+        self._above: Dict[Hashable, Set[int]] = {}
+        #: Total first sightings (unique keys marked).
+        self.unique = 0
+        #: Total suppressed re-sightings.
+        self.repeats = 0
+
+    # ----------------------------------------------------------------- mark
+    def mark(self, source: Hashable, seq: int) -> bool:
+        """Record a sighting; ``True`` iff this is the first one."""
+        floor = self._floor.get(source, -1)
+        if seq <= floor:
+            self.repeats += 1
+            return False
+        above = self._above.get(source)
+        if above is not None and seq in above:
+            self.repeats += 1
+            return False
+        if seq == floor + 1:
+            floor += 1
+            # Gaps may have filled: advance the floor through the sparse set.
+            if above:
+                while floor + 1 in above:
+                    floor += 1
+                    above.discard(floor)
+                if not above:
+                    del self._above[source]
+            self._floor[source] = floor
+        else:
+            self._above.setdefault(source, set()).add(seq)
+        self.unique += 1
+        return True
+
+    def seen(self, source: Hashable, seq: int) -> bool:
+        """Whether ``(source, seq)`` has been marked (no side effects)."""
+        if seq <= self._floor.get(source, -1):
+            return True
+        above = self._above.get(source)
+        return above is not None and seq in above
+
+    # ------------------------------------------------------------ watermarks
+    def next_expected(self, source: Hashable) -> int:
+        """The lowest sequence not yet contiguously seen for ``source``.
+
+        This is the idempotent-producer watermark: a broker accepting only
+        ``seq == next_expected(pid)`` (per batch base) guarantees the log
+        holds each producer sequence exactly once, in order.
+        """
+        return self._floor.get(source, -1) + 1
+
+    def mark_run(self, source: Hashable, start_seq: int, count: int) -> None:
+        """Mark ``count`` contiguous sequences starting at ``start_seq``.
+
+        Used when whole batches are admitted atomically (plog appends).
+        """
+        for seq in range(start_seq, start_seq + count):
+            self.mark(source, seq)
+
+    # ----------------------------------------------------------- introspection
+    def sources(self) -> int:
+        return len(self._floor.keys() | self._above.keys())
+
+    def snapshot(self) -> Dict[Hashable, int]:
+        """Per-source contiguous floors (for replication/recovery hand-off)."""
+        return dict(self._floor)
+
+    def restore(self, floors: Dict[Hashable, int]) -> None:
+        """Raise floors to at least ``floors`` (monotonic merge)."""
+        for source, floor in floors.items():
+            if floor > self._floor.get(source, -1):
+                self._floor[source] = floor
+                above = self._above.get(source)
+                if above:
+                    stale = {seq for seq in above if seq <= floor}
+                    above -= stale
+                    if not above:
+                        del self._above[source]
+
+    def __len__(self) -> int:
+        return self.unique
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DedupIndex(sources={self.sources()}, unique={self.unique}, "
+            f"repeats={self.repeats})"
+        )

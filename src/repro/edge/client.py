@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from repro.core.dedup import DedupIndex
 from repro.edge.config import EdgeConfig
 from repro.edge.upstream import record_of
 from repro.telemetry.context import current as _telemetry
@@ -90,7 +91,7 @@ class EdgeClient:
         self._http: Optional[HttpClient] = None
         self._cursor: Optional[tuple[str, int]] = None
         self._last_created: float = 0.0
-        self._seen: set[tuple[int, int]] = set()
+        self._seen = DedupIndex()
 
     def start(self) -> None:
         self.sim.process(self.run(), name=self.name)
@@ -163,11 +164,9 @@ class EdgeClient:
         record = record_of(payload)
         if record is None:
             return
-        key = (record.gen_id, record.seq)
-        if key in self._seen:
+        if not self._seen.mark(record.gen_id, record.seq):
             self.stats.redeliveries += 1
             return
-        self._seen.add(key)
         self.stats.received += 1
         if record.t_before_send > self._last_created:
             self._last_created = record.t_before_send

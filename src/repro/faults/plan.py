@@ -335,6 +335,39 @@ def gateway_outage(measure_since: float, duration: float) -> FaultPlan:
     )
 
 
+def durability_gauntlet(measure_since: float, duration: float) -> FaultPlan:
+    """The exactly-once obstacle course: broker crash + consumer crash +
+    client partition, one after another inside the measured window.
+
+    * ``broker:0`` dies early and restarts after at most ~6 s (capped in
+      absolute terms so a fixed client retry budget clears it at every
+      scale preset).  Against Narada that is the single broker — durable
+      replay territory; against plog it is the group coordinator *and* a
+      partition leader — re-election plus idempotent retry territory.
+    * ``consumer:1`` (the hydra6 receiver) is killed mid-window: durable
+      re-subscribe / group rebalance must hand its messages over without
+      losing or double-counting any.
+    * hydra7 drops off the switch late in the window: TCP holds client
+      traffic, producer-side retry fires, and broker-side dedup must
+      absorb the duplicate sends that arrive after the heal.
+    """
+    outage = min(0.2 * duration, 6.0)
+    return (
+        FaultPlan()
+        .broker_crash(
+            at=measure_since + 0.15 * duration,
+            broker="broker:0",
+            restart_after=outage,
+        )
+        .consumer_crash(at=measure_since + 0.55 * duration, consumer=1)
+        .partition(
+            at=measure_since + 0.7 * duration,
+            duration=0.15 * duration,
+            hosts=("hydra7",),
+        )
+    )
+
+
 def mixed(measure_since: float, duration: float) -> FaultPlan:
     """Loss burst plus a latency spike, overlapping — a genuinely bad day."""
     plan = loss_burst(measure_since, duration)
@@ -355,6 +388,7 @@ PLANS: dict[str, PlanTemplate] = {
     "broker_outage": broker_outage,
     "coordinator_outage": coordinator_outage,
     "gateway_outage": gateway_outage,
+    "durability_gauntlet": durability_gauntlet,
     "mixed": mixed,
 }
 

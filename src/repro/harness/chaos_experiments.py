@@ -38,6 +38,12 @@ CHAOS_RETRY = RetryPolicy(retries=6, backoff=0.1)
 #: retrying — that is what makes rerouting to a surviving broker visible.
 FAILOVER_RETRY = RetryPolicy(retries=4, backoff=0.1)
 
+#: The durability ladder needs the opposite: a budget that *outlasts* the
+#: gauntlet's capped ~6 s broker outage (un-jittered worst case ~16 s of
+#: backoff with the 5 s per-delay ceiling), because zero loss is asserted —
+#: giving up is losing.
+DURABILITY_RETRY = RetryPolicy(retries=8, backoff=0.1)
+
 
 def _tail(rtts: Any) -> tuple[float, float, float]:
     """(p95, p99, p100) in milliseconds; NaNs when nothing was measured."""
@@ -121,14 +127,15 @@ def chaos_threeway(
         )
         rows.append([
             label, run.sent, run.received, f"{run.loss_rate:.4%}",
-            p95, p99, p100, f"{frac_late:.4%}",
+            run.duplicates, p95, p99, p100, f"{frac_late:.4%}",
             "PASS" if compliant else "FAIL",
         ])
         for pct, ms in percentile_curve(run.rtts):
             result.add_point(label, pct, ms)
     result.table = (
-        ["system", "sent", "received", "loss rate", "p95 (ms)", "p99 (ms)",
-         "p100 (ms)", "late/lost", "SLA (<=5s, <0.5%)"],
+        ["system", "sent", "received", "loss rate", "duplicates",
+         "p95 (ms)", "p99 (ms)", "p100 (ms)", "late/lost",
+         "SLA (<=5s, <0.5%)"],
         rows,
     )
     plog_retry_run = legs[3][1]
@@ -146,6 +153,132 @@ def chaos_threeway(
         "cannot recover broker-to-subscriber datagrams, and R-GMA's "
         "TCP/servlet pipeline never loses to the burst but pays its usual "
         "second-scale process time"
+    )
+    result.meta["fault_plan"] = fault_plan
+    result.meta["runs"] = {label: run for label, run in legs}
+    return result
+
+
+def chaos_durability(
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+    fault_plan: str = "durability_gauntlet",
+    connections: int = CHAOS_CONNECTIONS,
+) -> ExperimentResult:
+    """Exactly-once parity: both broker paths through the gauntlet.
+
+    Three legs under one schedule — broker crash + consumer crash + client
+    partition inside the measured window:
+
+    * **Narada durable (TCP)** — durable subscriptions with broker-side
+      retain-until-acknowledged replay (surviving the crash via the
+      durable store), supervised subscribers that reconnect and
+      re-subscribe, publisher retry, and a ``(gen_id, seq)`` receiver
+      index that turns replay into exactly-once processing.
+    * **R-GMA (TCP)** — the control: its pipeline has no broker or
+      consumer process to kill (those fault legs are skipped against it),
+      and TCP carries it through the partition.
+    * **Plog idempotent (TCP, RF=2, acks=all)** — idempotent producers
+      (broker-side (pid, seq) dedup across retries and leader failover),
+      generation-fenced offset commits, consumer recovery, and a shared
+      sink index absorbing post-rebalance replay.
+
+    The verdict per leg is *zero loss AND zero duplicates* — stricter than
+    the §I SLA, and the CI durability gate.
+    """
+    from repro.harness.narada_experiments import narada_run
+    from repro.harness.plog_experiments import plog_run
+    from repro.harness.rgma_experiments import rgma_run
+
+    scale = scale or Scale.from_env()
+    template = named_plan(fault_plan)
+
+    legs: list[tuple[str, Any]] = []
+    legs.append((
+        "Narada durable (TCP, retry)",
+        narada_run(
+            connections,
+            transport_kind="tcp",
+            scale=scale,
+            seed=seed,
+            fault_plan=template,
+            fleet_retry=DURABILITY_RETRY,
+            durable_receivers=True,
+        ),
+    ))
+    legs.append((
+        "R-GMA (TCP)",
+        rgma_run(connections, scale=scale, seed=seed, fault_plan=template),
+    ))
+    legs.append((
+        "Plog idempotent (TCP, RF=2, acks=all)",
+        plog_run(
+            connections,
+            n_brokers=4,
+            scale=scale,
+            seed=seed,
+            config=PlogConfig(
+                replication_factor=2,
+                acks=ACKS_ALL,
+                idempotent=True,
+                producer_retry=DURABILITY_RETRY,
+                consumer_recovery=True,
+            ),
+            fault_plan=template,
+            dedup_receivers=True,
+        ),
+    ))
+
+    result = ExperimentResult(
+        "chaos_durability",
+        f"Durable delivery parity under the {fault_plan!r} fault plan",
+        "percentile",
+        "millisecond",
+    )
+    rows = []
+    for label, run in legs:
+        _p95, _p99, p100 = _tail(run.rtts)
+        redeliveries = getattr(run, "redeliveries", 0)
+        clean = run.loss_rate == 0.0 and run.duplicates == 0
+        rows.append([
+            label, run.sent, run.received, f"{run.loss_rate:.2%}",
+            run.duplicates, redeliveries, p100,
+            "PASS" if clean else "FAIL",
+        ])
+        for pct, ms in percentile_curve(run.rtts):
+            result.add_point(label, pct, ms)
+    result.table = (
+        ["system", "sent", "received", "loss rate", "duplicates",
+         "redeliveries", "p100 (ms)", "0 loss AND 0 dup"],
+        rows,
+    )
+    narada_leg = legs[0][1]
+    plog_leg = legs[2][1]
+    for line in narada_leg.fault_log:
+        result.note(f"fault (narada): {line}")
+    for line in plog_leg.fault_log:
+        result.note(f"fault (plog): {line}")
+    result.note(
+        f"narada durable machinery: {narada_leg.messages_replayed} retained "
+        f"copies replayed, {narada_leg.redeliveries} redeliveries absorbed "
+        f"by the (gen_id, seq) index, {narada_leg.receiver_reconnects} "
+        "supervised reconnects"
+    )
+    result.note(
+        f"plog exactly-once machinery: {plog_leg.duplicate_batches} "
+        f"duplicate produce batches discarded by (pid, seq) dedup, "
+        f"{plog_leg.redeliveries} post-rebalance redeliveries absorbed by "
+        f"the sink index, {plog_leg.fenced_commits} stale-generation "
+        f"commits fenced, {plog_leg.elections} leader elections, "
+        f"{plog_leg.coordinator_elections} coordinator elections "
+        f"({plog_leg.acked_lost} of {plog_leg.acked} acked records lost)"
+    )
+    result.note(
+        "same at-least-once + dedup construction on both broker paths: "
+        "Narada retains delivered-but-unacked copies for durable replay "
+        "(only the JMS ack retires a copy), plog retries produce batches "
+        "under an idempotent (pid, seq) window — in both, the replayed "
+        "stream is collapsed back to exactly-once at the edge"
     )
     result.meta["fault_plan"] = fault_plan
     result.meta["runs"] = {label: run for label, run in legs}

@@ -60,8 +60,16 @@ class NaradaRunResult:
     loss_rate: float
     rtts: Any  # np.ndarray of measured-window RTT seconds
     broker_stats: dict[str, Any] = field(default_factory=dict)
-    #: Redeliveries the receivers suppressed (first delivery wins).
+    #: Deliveries that escaped suppression and were counted twice.
     duplicates: int = 0
+    #: Redeliveries the durable receivers' (gen_id, seq) index absorbed.
+    redeliveries: int = 0
+    #: Supervised-receiver reconnects (durable mode under faults).
+    receiver_reconnects: int = 0
+    #: Retained copies the broker replayed on durable re-subscribes.
+    messages_replayed: int = 0
+    #: Human-readable fault injection log ("t=... kind target note").
+    fault_log: list[str] = field(default_factory=list)
 
 
 def _make_transport(kind: str, sim: Simulator, lan: Any) -> Any:
@@ -92,6 +100,7 @@ def narada_run(
     scenario: Any = None,
     fleet_retry: Any = None,
     fleet_failover: bool = False,
+    durable_receivers: bool = False,
 ) -> NaradaRunResult:
     """One §III.E test: ``connections`` generators against one broker or the
     4-broker DBN, measured in steady state.
@@ -101,7 +110,12 @@ def narada_run(
     this run; ``scenario`` (a :class:`repro.scenario.Scenario` or template)
     additionally perturbs the workload and merges its fault fragment in;
     ``fleet_retry``/``fleet_failover`` give the publishers retry-with-backoff
-    and broker-failover recovery.
+    and broker-failover recovery; ``durable_receivers`` makes every
+    subscriber a *supervised durable* subscription — the broker retains
+    delivered-but-unacked and offline messages for replay, the receiver
+    reconnects and re-subscribes after connection loss (broker crash or its
+    own), and a ``(gen_id, seq)`` index turns the replayed at-least-once
+    stream into exactly-once processing.
     """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
@@ -183,12 +197,20 @@ def narada_run(
             selector=f"id >= {lo} AND id < {hi}",
             ack_mode=ack_mode,
             config=config,
+            durable_name=f"durable.{client_node}" if durable_receivers else None,
+            recover=durable_receivers,
+            name=f"narada-recv.{client_node}",
         )
-        try:
-            sim.run_process(receiver.start())
-        except Exception:
-            receivers_failed += 1
-            continue
+        if durable_receivers:
+            # Supervised: start() is a long-running reconnect loop, not a
+            # one-shot connect — run it as a background process.
+            sim.process(receiver.start(), name=f"{receiver.name}.supervisor")
+        else:
+            try:
+                sim.run_process(receiver.start())
+            except Exception:
+                receivers_failed += 1
+                continue
         receivers.append(receiver)
 
     fleet = NaradaFleet(
@@ -209,11 +231,14 @@ def narada_run(
         else fault_plan
     )
     plan = merge_fault_plan(compiled, plan)
+    scheduler = None
     if plan is not None and len(plan):
         from repro.faults import FaultScheduler
 
-        FaultScheduler(sim, plan).attach(
-            lan=cluster.lan, cluster=cluster, brokers=brokers
+        scheduler = FaultScheduler(sim, plan)
+        scheduler.attach(
+            lan=cluster.lan, cluster=cluster, brokers=brokers,
+            consumers=receivers,
         )
 
     end = stop_at + scale.drain
@@ -248,12 +273,17 @@ def narada_run(
         loss_rate=stats.loss_rate,
         rtts=rtts,
         duplicates=sum(r.duplicates for r in receivers),
+        redeliveries=sum(r.redeliveries for r in receivers),
+        receiver_reconnects=sum(r.reconnects for r in receivers),
+        messages_replayed=sum(b.stats.messages_replayed for b in brokers),
+        fault_log=scheduler.render_log() if scheduler is not None else [],
         broker_stats={
             b.name: {
                 "published": b.stats.messages_published,
                 "delivered": b.stats.messages_delivered,
                 "forwards_received": b.stats.forwards_received,
                 "forwarded": b.stats.messages_forwarded,
+                "replayed": b.stats.messages_replayed,
                 "threads_peak": b.jvm.threads_peak,
             }
             for b in brokers

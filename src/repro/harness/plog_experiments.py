@@ -65,6 +65,14 @@ class PlogRunResult:
     rtts: Any  # np.ndarray of measured-window RTT seconds
     broker_stats: dict[str, Any] = field(default_factory=dict)
     duplicates: int = 0
+    #: Redeliveries the shared (gen_id, seq) sink index absorbed
+    #: (``dedup_receivers`` runs only).
+    redeliveries: int = 0
+    #: Producer batches the brokers' idempotence index discarded as
+    #: duplicates of an already-appended (pid, seq) window.
+    duplicate_batches: int = 0
+    #: Offset commits the coordinator rejected for a stale generation.
+    fenced_commits: int = 0
     #: Human-readable fault injection log ("t=... kind target note").
     fault_log: list[str] = field(default_factory=list)
     #: Recovery counters (all zero without faults / recovery config).
@@ -114,6 +122,7 @@ def plog_run(
     transport_kind: str = "tcp",
     fault_plan: Any = None,
     scenario: Any = None,
+    dedup_receivers: bool = False,
 ) -> PlogRunResult:
     """One grid-monitoring test: ``connections`` generators against a
     partitioned-log deployment of ``n_brokers`` brokers, measured in steady
@@ -124,6 +133,10 @@ def plog_run(
     armed against this run's LAN, brokers and consumers.  ``scenario`` (a
     :class:`repro.scenario.Scenario` or template) additionally perturbs the
     producers' publication rates and merges its fault fragment in.
+    ``dedup_receivers`` gives all group members one shared ``(gen_id, seq)``
+    index — the idempotent-sink half of exactly-once: post-rebalance replay
+    of records a dead member already processed is absorbed as a
+    redelivery, not a duplicate.
     """
     scale = scale or Scale.from_env()
     sim = Simulator(seed=seed)
@@ -172,8 +185,13 @@ def plog_run(
     # One consumer-group member per client node ("data were received by the
     # node where they were sent", §III.E.2) — the coordinator splits the
     # topic's partitions evenly among them.
+    dedup = None
+    if dedup_receivers:
+        from repro.core.dedup import DedupIndex
+
+        dedup = DedupIndex()
     receivers = [
-        PlogReceiver(sim, cluster, deployment, client_node)
+        PlogReceiver(sim, cluster, deployment, client_node, dedup=dedup)
         for client_node in CLIENT_NODES
     ]
     for receiver in receivers:
@@ -249,6 +267,7 @@ def plog_run(
                 "records_appended": b.stats.records_appended,
                 "records_fetched": b.stats.records_fetched,
                 "records_dropped": b.stats.records_dropped,
+                "duplicate_batches": b.stats.duplicate_batches,
                 "fetches": b.stats.fetches,
                 "threads_peak": b.jvm.threads_peak,
                 "heap_committed": b.jvm.committed_bytes,
@@ -256,6 +275,15 @@ def plog_run(
             for b in deployment.brokers
         },
         duplicates=sum(r.duplicates for r in receivers),
+        redeliveries=sum(r.redeliveries for r in receivers),
+        duplicate_batches=sum(
+            b.stats.duplicate_batches for b in deployment.brokers
+        ),
+        fenced_commits=sum(
+            b.coordinator.fenced_commits
+            for b in deployment.brokers
+            if b.coordinator is not None
+        ),
         fault_log=scheduler.render_log() if scheduler is not None else [],
         producer_retries=sum(p.retries for p in fleet._producers),
         producer_reconnects=sum(p.reconnects for p in fleet._producers),

@@ -529,6 +529,7 @@ def _table3_extended(scale: Scale, seed: int) -> ExperimentResult:
 #: CLI flag is only forwarded to these).
 CHAOS_EXPERIMENTS = (
     "chaos_threeway",
+    "chaos_durability",
     "chaos_broker_failover",
     "chaos_replication",
     "chaos_adaptive_backoff",
@@ -538,6 +539,7 @@ CHAOS_EXPERIMENTS = (
 #: Default plan per chaos experiment when ``--fault-plan`` is not given.
 _CHAOS_DEFAULT_PLAN = {
     "chaos_threeway": "loss_burst",
+    "chaos_durability": "durability_gauntlet",
     "chaos_broker_failover": "broker_outage",
     "chaos_replication": "broker_outage",
     "chaos_adaptive_backoff": "latency_spike",
@@ -549,6 +551,14 @@ def _chaos_threeway(
     scale: Scale, seed: int, fault_plan: str = "loss_burst"
 ) -> ExperimentResult:
     return chaos_experiments.chaos_threeway(
+        scale=scale, seed=seed, fault_plan=fault_plan
+    )
+
+
+def _chaos_durability(
+    scale: Scale, seed: int, fault_plan: str = "durability_gauntlet"
+) -> ExperimentResult:
+    return chaos_experiments.chaos_durability(
         scale=scale, seed=seed, fault_plan=fault_plan
     )
 
@@ -1203,6 +1213,7 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "edge_scaling": _edge_scaling,
     "edge_gateway_crash": _edge_gateway_crash,
     "chaos_threeway": _chaos_threeway,
+    "chaos_durability": _chaos_durability,
     "chaos_broker_failover": _chaos_broker_failover,
     "chaos_replication": _chaos_replication,
     "chaos_adaptive_backoff": _chaos_adaptive_backoff,
@@ -1248,6 +1259,7 @@ DESCRIPTIONS: dict[str, str] = {
     "edge_scaling": "Edge tier: clients 10k+ pooled onto O(topics) connections",
     "edge_gateway_crash": "Gateway crash: failover, ring replay, exactly-once",
     "chaos_threeway": "All three middlewares under one deterministic fault plan",
+    "chaos_durability": "Durable delivery parity: 0 loss AND 0 duplicates under faults",
     "chaos_broker_failover": "Plog broker crash: one-shot vs retry vs failover vs RF=2",
     "chaos_replication": "Plog durability ladder under a broker crash: RF x acks",
     "chaos_adaptive_backoff": "Plog retry: fixed vs RTT-adaptive backoff",

@@ -28,6 +28,7 @@ from repro.narada.broker_network import (
 )
 from repro.narada.client import NaradaProvider, narada_connection_factory
 from repro.narada.config import NaradaConfig
+from repro.narada.durable import DurableStore
 from repro.narada.routing import shortest_paths
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "BrokerDiscoveryNode",
     "BrokerNetwork",
     "BrokerStats",
+    "DurableStore",
     "NaradaConfig",
     "NaradaProvider",
     "narada_connection_factory",

@@ -15,7 +15,9 @@ Wire protocol (tuples over a transport channel):
 ``("subscribe", id, dest, sel)``    client → broker: add subscription
 ``("subscribed", id)``              broker → client: subscription confirmed
 ``("unsubscribe", id)``             client → broker: remove subscription
-``("ack", n)``                      client → broker: JMS ack for n messages
+``("ack", n, {id: k})``             client → broker: JMS ack for n messages
+                                    (per-subscription counts settle durable
+                                    retention)
 ``("deliver", id, msg)``            broker → client: push to subscription
 ``("forward", msg, targets, hop)``  broker → broker: routed/flooded event
 ``("interest", dest, broker, on)``  broker → broker: interest advertisement
@@ -32,6 +34,7 @@ from repro.cluster.jvm import Jvm, OutOfMemoryError
 from repro.jms.destination import Destination, Queue, Topic
 from repro.jms.selector import Selector, parse_selector
 from repro.narada.config import NaradaConfig
+from repro.narada.durable import DurableStore
 from repro.sim import Store
 from repro.telemetry.context import current as _telemetry
 from repro.transport.base import EOF, Channel, ChannelClosed, MessageLost
@@ -56,6 +59,10 @@ class BrokerStats:
     deliveries_dropped: int = 0
     acks_processed: int = 0
     selector_evaluations: int = 0
+    #: Retained copies replayed to a re-subscribing durable consumer.
+    messages_replayed: int = 0
+    #: Retained copies evicted (buffer bound or heap pressure).
+    retention_evicted: int = 0
 
 
 @dataclass
@@ -68,6 +75,10 @@ class _Subscription:
     durable: bool = False
     #: Messages retained while a durable subscriber is disconnected.
     offline_buffer: list = field(default_factory=list)
+    #: Delivered-but-unacknowledged copies (durable only).  A push the
+    #: broker counted as delivered can still die on the wire when the
+    #: connection is severed; only the JMS ack retires the copy.
+    unacked: list = field(default_factory=list)
 
 
 class Broker:
@@ -96,6 +107,9 @@ class Broker:
         #: destination name -> ordered subscriptions.
         self._subs: dict[str, list[_Subscription]] = {}
         self._subs_by_id: dict[str, _Subscription] = {}
+        #: Durable subscriptions, modelled as living on the persistent
+        #: storage service — :meth:`crash` re-registers from here.
+        self.durable_store = DurableStore()
         #: Queue round-robin cursors.
         self._rr: dict[str, int] = {}
         # NIO: one shared dispatch queue + selector thread, lazily started.
@@ -201,6 +215,12 @@ class Broker:
             count = frame[1]
             self.stats.acks_processed += count
             yield from self.node.execute(self.config.ack_cpu * count)
+            per_sub = frame[2] if len(frame) > 2 else None
+            if per_sub:
+                for sub_id, n in per_sub.items():
+                    sub = self._subs_by_id.get(sub_id)
+                    if sub is not None and sub.durable:
+                        self._settle(sub, n)
         elif kind == "forward":
             _, message, targets, hop = frame
             yield from self._on_forward(message, targets, hop)
@@ -288,12 +308,7 @@ class Broker:
         if sub.channel is None or sub.channel.closed:
             # Offline durable subscriber: retain for later delivery.
             if sub.durable:
-                sub.offline_buffer.append(copy)
-                self.jvm.alloc(cfg.per_message_heap, "durable retention")
-                if len(sub.offline_buffer) > cfg.durable_buffer_max:
-                    sub.offline_buffer.pop(0)
-                    self.jvm.free(cfg.per_message_heap)
-                    self.stats.deliveries_dropped += 1
+                self._retain(sub, copy, sub.offline_buffer)
             else:
                 self.stats.deliveries_dropped += 1
             return
@@ -302,6 +317,10 @@ class Broker:
             self._aggregate(sub, copy)
             return
         yield from self.node.execute(cfg.deliver_cpu)
+        # Durable contract: the copy stays retained until the subscriber's
+        # JMS ack comes back — a send the broker counts as delivered can
+        # still die on the wire under a crash, and re-subscribe replays it.
+        retained = sub.durable and self._retain(sub, copy, sub.unacked)
         try:
             yield from sub.channel.send(
                 ("deliver", sub.sub_id, copy),
@@ -316,7 +335,41 @@ class Broker:
                         record, "broker_out", self.sim.now, "narada", self.name
                     )
         except (MessageLost, ChannelClosed):
+            if not retained:
+                self.stats.deliveries_dropped += 1
+
+    # ----------------------------------------------------- durable retention
+    def _retain(self, sub: _Subscription, copy: Any, buffer: list) -> bool:
+        """Retain a copy for replay, bounded by buffer size and broker heap.
+
+        Returns False when the copy could not be retained (heap exhausted):
+        the message is dropped like a non-durable delivery would be, instead
+        of OOM-killing the broker over retention bookkeeping.
+        """
+        cfg = self.config
+        try:
+            self.jvm.alloc(cfg.per_message_heap, "durable retention")
+        except OutOfMemoryError:
             self.stats.deliveries_dropped += 1
+            self.stats.retention_evicted += 1
+            return False
+        buffer.append(copy)
+        # One budget covers both windows; evict oldest-first (unacked
+        # predates offline chronologically).
+        while len(sub.unacked) + len(sub.offline_buffer) > cfg.durable_buffer_max:
+            victim = sub.unacked if sub.unacked else sub.offline_buffer
+            victim.pop(0)
+            self.jvm.free(cfg.per_message_heap)
+            self.stats.deliveries_dropped += 1
+            self.stats.retention_evicted += 1
+        return True
+
+    def _settle(self, sub: _Subscription, count: int) -> None:
+        """A JMS ack retires the oldest ``count`` retained deliveries."""
+        settled = min(count, len(sub.unacked))
+        if settled:
+            del sub.unacked[:settled]
+            self.jvm.free(self.config.per_message_heap * settled)
 
     # ---------------------------------------------------------- aggregation
     def _aggregate(self, sub: _Subscription, message: Any) -> None:
@@ -370,7 +423,11 @@ class Broker:
     ) -> Generator[Any, Any, None]:
         existing = self._subs_by_id.get(sub_id)
         if existing is not None and existing.durable and existing.channel is None:
-            # Durable re-subscribe: reattach and flush the retained backlog.
+            # Durable re-subscribe: reattach and replay the retained
+            # backlog — unacked deliveries first (older), then the offline
+            # buffer, in arrival order.  Replay re-enters :meth:`_push`, so
+            # every copy is re-retained until its ack comes back; the
+            # subscriber's (pub_id, seq) dedup absorbs any it already saw.
             existing.channel = channel
             yield from self.node.execute(self.config.routing_cpu)
             try:
@@ -379,9 +436,11 @@ class Broker:
                 )
             except (MessageLost, ChannelClosed):
                 return
-            backlog, existing.offline_buffer = existing.offline_buffer, []
+            backlog = existing.unacked + existing.offline_buffer
+            existing.unacked, existing.offline_buffer = [], []
             for message in backlog:
                 self.jvm.free(self.config.per_message_heap)
+                self.stats.messages_replayed += 1
                 yield from self._push(existing, message)
             return
         sub = _Subscription(
@@ -394,6 +453,8 @@ class Broker:
         )
         self._subs.setdefault(destination.name, []).append(sub)
         self._subs_by_id[sub_id] = sub
+        if durable:
+            self.durable_store.register(sub)
         yield from self.node.execute(self.config.routing_cpu)
         try:
             yield from channel.send(("subscribed", sub_id), self.config.control_bytes)
@@ -406,6 +467,15 @@ class Broker:
         sub = self._subs_by_id.pop(sub_id, None)
         if sub is None:
             return
+        if sub.durable:
+            # Explicit unsubscribe forgets the durable name and frees its
+            # retained messages.
+            self.durable_store.forget(sub_id)
+            retained = len(sub.unacked) + len(sub.offline_buffer)
+            if retained:
+                self.jvm.free(self.config.per_message_heap * retained)
+                sub.unacked.clear()
+                sub.offline_buffer.clear()
         bucket = self._subs.get(sub.destination_name, [])
         try:
             bucket.remove(sub)
@@ -468,10 +538,14 @@ class Broker:
 
         Each closed channel delivers an EOF through its normal service path
         (connection thread or NIO selector queue), so heap accounting and
-        subscription teardown follow the clean-disconnect code.  Unlike the
-        commit log, Narada state is all in-memory: non-durable
-        subscriptions die with their channels, so clients must reconnect
-        *and* resubscribe after a restart.
+        subscription teardown follow the clean-disconnect code.  Non-durable
+        subscriptions are volatile broker memory: they die with their
+        channels, so clients must reconnect *and* resubscribe after a
+        restart.  Durable subscriptions live on the persistent storage
+        service (:attr:`durable_store`) and are re-registered from it here —
+        the stand-in for the recovery controller replaying the on-disk
+        subscription registry — coming back *offline*, so deliveries racing
+        the crash land in their replay buffers instead of a dead channel.
         """
         if not self.alive:
             return
@@ -481,6 +555,13 @@ class Broker:
             if not channel.closed:
                 channel.close()
         self._client_channels.clear()
+        for sub in self.durable_store.subscriptions():
+            sub.channel = None
+            if self._subs_by_id.get(sub.sub_id) is not sub:
+                self._subs_by_id[sub.sub_id] = sub
+                bucket = self._subs.setdefault(sub.destination_name, [])
+                if sub not in bucket:
+                    bucket.append(sub)
 
     def restart(self) -> None:
         """Bring a crashed broker back up (the listener stays registered).

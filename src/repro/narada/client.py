@@ -72,6 +72,12 @@ class NaradaProvider:
             self.config.control_bytes,
         )
         yield confirm  # broker round trip — subscription is live after this
+        if self.channel.closed and sub_id in self._subscriptions:
+            # The reader saw EOF before the broker confirmed: the confirm
+            # event was released so we don't park forever, but the
+            # subscription never went live.
+            self._subscriptions.pop(sub_id, None)
+            raise ChannelClosed(f"broker connection lost during subscribe {sub_id!r}")
         return sub_id
 
     def unsubscribe(self, handle: str) -> Generator[Any, Any, None]:
@@ -86,9 +92,16 @@ class NaradaProvider:
     def ack(self, messages: list) -> Generator[Any, Any, None]:
         if not messages or self.closed:
             return
+        # Per-subscription counts let the broker settle durable retention
+        # (frame *content* only — the wire cost stays ``control_bytes``).
+        per_sub: dict[str, int] = {}
+        for message in messages:
+            sub_id = getattr(message, "_sub_id", None)
+            if sub_id is not None:
+                per_sub[sub_id] = per_sub.get(sub_id, 0) + 1
         try:
             yield from self.channel.send(
-                ("ack", len(messages)), self.config.control_bytes
+                ("ack", len(messages), per_sub), self.config.control_bytes
             )
         except (MessageLost, ChannelClosed):
             pass
@@ -104,6 +117,12 @@ class NaradaProvider:
             delivery = yield self.channel.receive()
             payload = delivery.payload
             if payload is EOF:
+                # Release any subscriber parked on a confirm round trip so
+                # it can observe the dead channel and retry elsewhere.
+                pending, self._pending_subscribes = self._pending_subscribes, {}
+                for confirm in pending.values():
+                    if not confirm.triggered:
+                        confirm.succeed()
                 return
             yield from self.node.execute(
                 self.channel.cost_model.recv_cost(delivery.nbytes)
@@ -118,6 +137,7 @@ class NaradaProvider:
                 # receive CPU charge and session dispatch above/after it are
                 # part of the Subscribing Response Time (paper Fig 15).
                 message._t_arrived_client = delivery.delivered_at
+                message._sub_id = sub_id
                 handler(message)
             elif kind == "deliver_batch":
                 _, sub_id, batch = payload
@@ -126,6 +146,7 @@ class NaradaProvider:
                     continue
                 for message in batch:
                     message._t_arrived_client = delivery.delivered_at
+                    message._sub_id = sub_id
                     handler(message)
             elif kind == "subscribed":
                 confirm = self._pending_subscribes.pop(payload[1], None)

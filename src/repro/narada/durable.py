@@ -1,0 +1,72 @@
+"""Durable-subscription store: the broker state that outlives a crash.
+
+NaradaBrokering backs durable subscriptions with a persistent storage
+service: the subscription registry and the retained-message log live on
+disk, so a broker process crash loses neither.  This module models that
+storage as an object graph held *outside* the broker's volatile maps —
+:class:`repro.narada.broker.Broker.crash` wipes what a process death would
+wipe and then re-registers every durable subscription from this store, the
+way the recovery controller replays the on-disk registry at startup.
+
+Each durable subscription retains two message windows (both bounded by
+``NaradaConfig.durable_buffer_max`` and charged against broker heap):
+
+* ``unacked`` — copies delivered to a *connected* subscriber that have not
+  been JMS-acknowledged yet.  This is what closes the crash loss window:
+  a push that the broker counted as delivered can still die on the wire
+  when the connection is severed, and only the ack proves otherwise.
+* ``offline_buffer`` — messages that arrived while the subscriber was
+  disconnected (the classic durable-subscription backlog).
+
+On durable re-subscribe the broker replays ``unacked + offline_buffer`` in
+arrival order; the subscriber's ``(pub_id, seq)`` dedup index absorbs the
+copies it had in fact already processed, so the contract is exactly-once
+*processing* built from at-least-once delivery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.narada.broker import _Subscription
+
+
+class DurableStore:
+    """Registry of durable subscriptions surviving broker process death."""
+
+    def __init__(self) -> None:
+        self._subs: dict[str, "_Subscription"] = {}
+
+    # ------------------------------------------------------------- registry
+    def register(self, sub: "_Subscription") -> None:
+        """Record a durable subscription (idempotent on re-register)."""
+        self._subs[sub.sub_id] = sub
+
+    def forget(self, sub_id: str) -> None:
+        """Drop a durable subscription (JMS ``unsubscribe`` of the name)."""
+        self._subs.pop(sub_id, None)
+
+    def get(self, sub_id: str) -> Optional["_Subscription"]:
+        return self._subs.get(sub_id)
+
+    def subscriptions(self) -> list["_Subscription"]:
+        """All registered durable subscriptions (stable insertion order)."""
+        return list(self._subs.values())
+
+    # ----------------------------------------------------------- inspection
+    def retained_count(self) -> int:
+        """Messages currently held for replay across all subscriptions."""
+        return sum(
+            len(sub.unacked) + len(sub.offline_buffer)
+            for sub in self._subs.values()
+        )
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._subs
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def __iter__(self) -> Iterator["_Subscription"]:
+        return iter(self._subs.values())

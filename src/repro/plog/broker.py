@@ -20,12 +20,15 @@ Wire protocol (tuples over a transport channel):
 
 ==========================================================  ==============
 ``("produce", corr, topic, part, batch, acks)``             client → broker
+``("produce", corr, topic, part, batch, acks,``
+``  pid, seq_base)``                                        idempotent form
 ``("produce_ack", corr, base_offset)``                      broker → client
 ``("fetch", corr, topic, part, offset, max_n, max_wait)``   client → broker
 ``("fetch_resp", corr, records, next_offset, hwm)``         broker → client
 ``("join", group, member, topic)``                          client → coord
 ``("leave", group, member)``                                client → coord
-``("commit", group, member, topic, {part: offset})``        client → coord
+``("commit", group, member, topic, {part: offset},``
+``  generation)``                                           client → coord
 ``("assign", group, generation, parts, offsets)``           coord → client
 ==========================================================  ==============
 
@@ -38,7 +41,7 @@ Replication (``replication_factor > 1``) adds three frames:
 ``("rfetch", corr, topic, part, offset, max_n,``
 ``  max_wait, follower)``                                   follower → leader
 ``("rfetch_resp", corr, records4, leader_end, hwm,``
-``  epoch)``                                                leader → follower
+``  epoch, producer_snapshot)``                             leader → follower
 ``("produce_err", corr, reason)``                           broker → client
 ==========================================================  ==============
 
@@ -66,6 +69,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.cluster.jvm import Jvm, OutOfMemoryError
 from repro.plog.config import ACKS_ALL, PlogConfig
+from repro.plog.idempotence import PartitionProducerState
 from repro.plog.log import PartitionLog
 from repro.plog.replication import PartitionState, ReplicaProgress
 from repro.sim import Store
@@ -100,6 +104,10 @@ class PlogBrokerStats:
     records_replicated: int = 0
     isr_shrinks: int = 0
     isr_expands: int = 0
+    #: Idempotent-producer retries recognised and absorbed (re-acked
+    #: without a second append).
+    duplicate_batches: int = 0
+    duplicate_records: int = 0
 
 
 @dataclass
@@ -144,6 +152,11 @@ class PlogBroker:
         self.logs: dict[tuple[str, int], PartitionLog] = {}
         #: Replication state per hosted partition (leader or follower).
         self.states: dict[tuple[str, int], PartitionState] = {}
+        #: Idempotent-producer dedup state per hosted partition.  Updated
+        #: at append time on the leader, merged from replica-fetch
+        #: snapshots on followers, and — like the logs — durable across
+        #: ``crash()``/``restart()``.
+        self.producer_states: dict[tuple[str, int], PartitionProducerState] = {}
         self._waiters: dict[tuple[str, int], list[_FetchWaiter]] = {}
         self._requests: Store = Store(sim)
         self._io_started = False
@@ -249,8 +262,15 @@ class PlogBroker:
     def _handle(self, channel: Channel, frame: tuple) -> Generator[Any, Any, None]:
         kind = frame[0]
         if kind == "produce":
-            _, corr, topic, partition, batch, acks = frame
-            yield from self._on_produce(channel, corr, topic, partition, batch, acks)
+            # Idempotent producers append (pid, base sequence) to the frame.
+            if len(frame) == 6:
+                _, corr, topic, partition, batch, acks = frame
+                pid = seq_base = None
+            else:
+                _, corr, topic, partition, batch, acks, pid, seq_base = frame
+            yield from self._on_produce(
+                channel, corr, topic, partition, batch, acks, pid, seq_base
+            )
         elif kind == "fetch":
             _, corr, topic, partition, offset, max_records, max_wait = frame
             yield from self._on_fetch(
@@ -279,6 +299,8 @@ class PlogBroker:
         partition: int,
         batch: list,
         acks: int,
+        pid: Optional[str] = None,
+        seq_base: Optional[int] = None,
     ) -> Generator[Any, Any, None]:
         key = (topic, partition)
         log = self.logs[key]
@@ -307,6 +329,43 @@ class PlogBroker:
                 self.config.control_bytes,
             )
             return
+        pstate: Optional[PartitionProducerState] = None
+        if pid is not None and seq_base is not None:
+            pstate = self.producer_states.setdefault(
+                key, PartitionProducerState()
+            )
+            dup = pstate.duplicate(pid, seq_base, len(batch))
+            if dup is not None:
+                # A retry of a batch already in the log: absorb it and
+                # re-acknowledge — the producer's retry loop cannot tell a
+                # fresh ack from a replayed one, which is the point.
+                self.stats.duplicate_batches += 1
+                self.stats.duplicate_records += len(batch)
+                yield from self.node.execute(self.config.request_cpu)
+                tel = _telemetry()
+                if tel is not None:
+                    tel.metrics.counter(
+                        "plog", self.name, "duplicate_batches"
+                    ).inc()
+                if not acks:
+                    return
+                required, dup_offset = dup
+                if (
+                    acks == ACKS_ALL
+                    and state is not None
+                    and state.replicated
+                    and state.hwm < required
+                ):
+                    # The original append may still be awaiting replication:
+                    # the re-ack parks on the same high-watermark condition,
+                    # or an ack could claim durability the ISR doesn't have.
+                    state.pending_acks.append((required, channel, corr, dup_offset))
+                    return
+                self._send_async(
+                    channel, ("produce_ack", corr, dup_offset),
+                    self.config.control_bytes,
+                )
+                return
         payload_bytes = sum(nbytes for _, _, nbytes in batch)
         stored_bytes = payload_bytes + self.config.per_record_overhead_bytes * len(batch)
         yield from self.node.execute(self.config.append_cpu(len(batch), payload_bytes))
@@ -318,6 +377,8 @@ class PlogBroker:
         result = log.append(batch)
         if result.evicted_bytes:
             self.jvm.free(result.evicted_bytes)
+        if pstate is not None:
+            pstate.record(pid, seq_base, len(batch), result.base_offset)
         self.stats.produce_batches += 1
         self.stats.records_appended += len(batch)
         tel = _telemetry()
@@ -530,9 +591,17 @@ class PlogBroker:
             + self.config.batch_overhead_bytes
         )
         yield from self.node.execute(self.config.fetch_cpu(len(stored), nbytes))
+        # Piggyback the idempotence state so a promoted follower still
+        # recognises producer retries (the follower merges entries only as
+        # the described batches become locally replicated).
+        pstate = self.producer_states.get(key)
+        producer_snapshot = pstate.snapshot() if pstate is not None else None
         self._send_async(
             channel,
-            ("rfetch_resp", corr, records, log.end_offset, state.hwm, state.epoch),
+            (
+                "rfetch_resp", corr, records, log.end_offset, state.hwm,
+                state.epoch, producer_snapshot,
+            ),
             nbytes,
         )
 

@@ -127,6 +127,14 @@ class PlogConfig:
     #: Reroute records whose partition's broker is down to a partition on a
     #: surviving broker (sticky until the producer reconnects).
     failover: bool = False
+    #: Idempotent producer: stamp every batch with (producer id, per-
+    #: partition base sequence) so brokers absorb retried batches instead of
+    #: appending them twice — exactly-once appends across retries and
+    #: leader failover.  Forces one in-flight batch per partition (strict
+    #: per-partition send order, à la Kafka's idempotence ordering rule).
+    #: Not meaningful combined with ``failover`` rerouting: sequences are
+    #: scoped to the partition the batch was first routed to.
+    idempotent: bool = False
     #: Consumer-side recovery: re-issue timed-out fetches, reconnect dead
     #: sessions with capped backoff, keep committing through coordinator
     #: hiccups.  Off by default so the no-fault schedule is untouched.

@@ -331,7 +331,7 @@ class PlogConsumer:
             try:
                 yield from self._coord.send(
                     ("commit", self.group, self.name, self.topic,
-                     dict(self.positions)),
+                     dict(self.positions), self.generation),
                     self.config.control_bytes,
                 )
             except (MessageLost, ChannelClosed):

@@ -61,6 +61,8 @@ class GroupCoordinator:
         self.n_partitions = n_partitions
         self.groups: dict[str, _Group] = {}
         self.rebalances = 0
+        #: Commits rejected because the sender's generation was stale.
+        self.fenced_commits = 0
         #: Optional mirror for accepted commits — the deployment wires this
         #: to append ``(group, topic, partition, offset)`` entries to the
         #: replicated ``__offsets`` partition so a successor coordinator
@@ -80,8 +82,8 @@ class GroupCoordinator:
             _, group_name, member_id = frame
             self._on_leave(group_name, member_id)
         elif kind == "commit":
-            _, group_name, member_id, topic, offsets = frame
-            self._on_commit(group_name, member_id, topic, offsets)
+            _, group_name, member_id, topic, offsets, generation = frame
+            self._on_commit(group_name, member_id, topic, offsets, generation)
         else:  # pragma: no cover - broker dispatch guards this
             raise ValueError(f"unknown group frame {kind!r}")
 
@@ -100,10 +102,22 @@ class GroupCoordinator:
         self._arm_rebalance(group)
 
     def _on_commit(
-        self, group_name: str, member_id: str, topic: str, offsets: dict
+        self,
+        group_name: str,
+        member_id: str,
+        topic: str,
+        offsets: dict,
+        generation: int,
     ) -> None:
         group = self.groups.get(group_name)
         if group is None:
+            return
+        if generation != group.generation:
+            # Zombie fencing: a member still acting on a pre-rebalance
+            # assignment (paused, partitioned, or slow) must not clobber
+            # the new owner's position.  Its commit is dropped whole — the
+            # widened replay window is the at-least-once cost of fencing.
+            self.fenced_commits += 1
             return
         # Only the current owner of a partition may move its offset.
         owned = set(group.assignment.get(member_id, ()))

@@ -1,0 +1,104 @@
+"""Broker-side idempotent-producer state.
+
+Kafka's idempotent producer stamps every batch with a producer id and a
+per-partition base sequence number; the broker remembers, per partition,
+which sequences each producer has already appended and answers a retried
+batch with the original acknowledgement instead of appending it again.
+That turns the producer's at-least-once retry loop into exactly-once
+*appends* — the retry that races a lost acknowledgement is absorbed here.
+
+The sequence bookkeeping is the shared :class:`repro.core.DedupIndex`; one
+:class:`PartitionProducerState` instance lives per hosted partition on
+every replica.  The leader updates it at append time; followers receive a
+compact snapshot piggybacked on replica-fetch responses and merge it in
+lockstep with their log (entries are only applied once the batch they
+describe is locally replicated), so a promoted follower starts with dedup
+state consistent with its own log — a producer retry across a leader
+failover is still recognised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.dedup import DedupIndex
+
+#: Snapshot entry: (contiguous floor, last seq_base, last count, last
+#: base_offset) for one producer id.
+SnapshotEntry = Tuple[int, int, int, int]
+
+
+class PartitionProducerState:
+    """Per-partition dedup state over ``(producer id, sequence)``."""
+
+    def __init__(self) -> None:
+        self.index = DedupIndex()
+        #: pid -> (seq_base, count, base_offset) of the last appended batch,
+        #: kept for re-acknowledging duplicate retries (including the
+        #: ``acks=all`` re-park, which needs the batch's offset range).
+        self.last_batch: Dict[Hashable, Tuple[int, int, int]] = {}
+        #: Batches recognised as retries and absorbed without appending.
+        self.duplicates = 0
+
+    # -------------------------------------------------------------- dedup
+    def duplicate(
+        self, pid: Hashable, seq_base: int, count: int
+    ) -> Optional[Tuple[int, int]]:
+        """If the whole batch was already appended, return
+        ``(required_hwm, base_offset)`` for the re-acknowledgement.
+
+        Batches append atomically and retries re-send the identical batch,
+        so seeing the batch's *last* sequence proves the whole run landed.
+        The returned offsets come from the last recorded batch for ``pid``
+        — exact for the common retry-of-latest case, conservatively high
+        (parks an ``acks=all`` response a little longer) for older ghosts.
+        """
+        if count <= 0:
+            return None
+        if not self.index.seen(pid, seq_base + count - 1):
+            return None
+        self.duplicates += 1
+        last = self.last_batch.get(pid)
+        if last is None:  # floor known but batch offsets lost: ack at hwm 0
+            return (0, -1)
+        last_base, last_count, last_offset = last
+        return (last_offset + last_count, last_offset)
+
+    def record(
+        self, pid: Hashable, seq_base: int, count: int, base_offset: int
+    ) -> None:
+        """Register a freshly appended batch."""
+        self.index.mark_run(pid, seq_base, count)
+        current = self.last_batch.get(pid)
+        if current is None or seq_base >= current[0]:
+            self.last_batch[pid] = (seq_base, count, base_offset)
+
+    # -------------------------------------------------------- replication
+    def snapshot(self) -> Dict[Hashable, SnapshotEntry]:
+        """Compact state for piggybacking on a replica-fetch response."""
+        floors = self.index.snapshot()
+        out: Dict[Hashable, SnapshotEntry] = {}
+        for pid, (seq_base, count, base_offset) in self.last_batch.items():
+            out[pid] = (floors.get(pid, -1), seq_base, count, base_offset)
+        return out
+
+    def merge_snapshot(
+        self, snapshot: Dict[Hashable, SnapshotEntry], log_end: int
+    ) -> None:
+        """Follower-side merge, gated by the local log.
+
+        An entry is only applied once the batch it describes is fully
+        replicated locally (``base_offset + count <= log_end``); otherwise
+        a promotion in mid-catch-up would dedup retries of records this
+        replica does not actually hold — acknowledged loss, the one thing
+        replication exists to prevent.  Skipped entries arrive again with
+        the next fetch round.
+        """
+        for pid, (floor, seq_base, count, base_offset) in snapshot.items():
+            if base_offset + count > log_end:
+                continue
+            if floor >= 0:
+                self.index.restore({pid: floor})
+            current = self.last_batch.get(pid)
+            if current is None or seq_base >= current[0]:
+                self.last_batch[pid] = (seq_base, count, base_offset)

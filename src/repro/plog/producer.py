@@ -108,6 +108,11 @@ class PlogProducer:
         self._inflight: dict[tuple[str, int], int] = {}
         #: Batches waiting for a window slot, FIFO per partition.
         self._flush_queue: dict[tuple[str, int], deque] = {}
+        #: Idempotence: next base sequence per (topic, partition).  The
+        #: producer id is the producer's name; together with these the
+        #: broker recognises a retried batch and re-acks instead of
+        #: re-appending.
+        self._seqs: dict[tuple[str, int], int] = {}
         #: Ack-RTT estimator driving adaptive retry timing (Karn-sampled:
         #: only first-attempt round trips are observed).
         self._rtt: Optional[RttEstimator] = (
@@ -206,7 +211,9 @@ class PlogProducer:
         if batch is None or not batch.records:
             return
         self._epochs[bkey] = self._epochs.get(bkey, 0) + 1
-        window = self.config.max_in_flight
+        # Idempotence requires strict per-partition send order (the broker
+        # tracks contiguous sequence runs), so the window clamps to one.
+        window = 1 if self.config.idempotent else self.config.max_in_flight
         if window and self._inflight.get(bkey, 0) >= window:
             # Window full (some in-flight batch is slow or retrying): queue
             # client-side.  The batch keeps its slot in FIFO order, so a
@@ -246,6 +253,13 @@ class PlogProducer:
             + self.config.frame_overhead_bytes
             + self.config.batch_overhead_bytes
         )
+        seq_base: Optional[int] = None
+        if self.config.idempotent:
+            # The base sequence is claimed once per batch and pinned across
+            # retries — that is the whole point: the broker recognises the
+            # retry as the same batch.
+            seq_base = self._seqs.get(bkey, 0)
+            self._seqs[bkey] = seq_base + len(batch.records)
         attempt = 0
         while True:
             attempt += 1
@@ -270,11 +284,15 @@ class PlogProducer:
                     )
                 target = self._routes.get(partition, partition)
                 attempt_started = self.sim.now
-                try:
-                    yield from channel.send(
-                        ("produce", corr, topic, target, wire_batch, acks),
-                        nbytes,
+                if seq_base is None:
+                    frame = ("produce", corr, topic, target, wire_batch, acks)
+                else:
+                    frame = (
+                        "produce", corr, topic, target, wire_batch, acks,
+                        self.name, seq_base,
                     )
+                try:
+                    yield from channel.send(frame, nbytes)
                     sent = True
                 except (MessageLost, ChannelClosed):
                     self._pending_acks.pop(corr, None)
@@ -318,7 +336,10 @@ class PlogProducer:
                     return
                 # Timed out or the channel died: retry the whole batch.
                 # If the append actually landed and only the ack was lost,
-                # the retry makes a duplicate — at-least-once by design.
+                # the retry makes a duplicate — at-least-once by design,
+                # unless ``config.idempotent`` pinned a sequence on the
+                # batch, in which case the broker absorbs the retry and
+                # re-acks (exactly-once appends).
                 if self._rtt is not None and not ack_event.triggered:
                     # Genuine timeout (not a channel death): back the RTO
                     # off — Karn's rule gives the estimator no sample while

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.cluster.jvm import OutOfMemoryError
 from repro.plog.config import OFFSETS_TOPIC
+from repro.plog.idempotence import PartitionProducerState
 from repro.telemetry.context import current as _telemetry
 from repro.telemetry.metrics import ELECTION_LATENCY_BUCKETS
 from repro.transport.base import (
@@ -236,8 +237,13 @@ class ReplicaFetcher:
             yield from self.broker.node.execute(
                 channel.cost_model.recv_cost(delivery.nbytes)
             )
-            _, _, records, leader_end, leader_hwm, epoch = frame
-            return (yield from self._apply(state, records, leader_end, leader_hwm, epoch))
+            _, _, records, leader_end, leader_hwm, epoch, producer_snapshot = frame
+            return (
+                yield from self._apply(
+                    state, records, leader_end, leader_hwm, epoch,
+                    producer_snapshot,
+                )
+            )
 
     def _apply(
         self,
@@ -246,6 +252,7 @@ class ReplicaFetcher:
         leader_end: int,
         leader_hwm: int,
         epoch: int,
+        producer_snapshot: Optional[dict] = None,
     ) -> Generator[Any, Any, bool]:
         """Install one replica-fetch response into the local log."""
         broker = self.broker
@@ -286,6 +293,14 @@ class ReplicaFetcher:
                 broker.jvm.free(result.evicted_bytes)
             self.records_replicated += len(batch)
             broker.stats.records_replicated += len(batch)
+        if producer_snapshot:
+            # Merge the leader's idempotence state, gated by what this
+            # replica's log actually holds — a promotion mid-catch-up must
+            # not dedup retries of records we never replicated.
+            pstate = broker.producer_states.setdefault(
+                self.key, PartitionProducerState()
+            )
+            pstate.merge_snapshot(producer_snapshot, log.end_offset)
         new_hwm = min(leader_hwm, log.end_offset)
         if new_hwm > state.hwm:
             state.hwm = new_hwm

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from repro.core.dedup import DedupIndex
 from repro.jms import AckMode
 from repro.jms.destination import Topic
 from repro.narada.client import narada_connection_factory
 from repro.telemetry.context import current as _telemetry
-from repro.transport.base import ChannelClosed, TransportError
+from repro.transport.base import ChannelClosed, MessageLost, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.hydra import HydraCluster
@@ -30,7 +31,16 @@ PAPER_SELECTOR = "id<10000"
 
 
 class NaradaReceiver:
-    """One subscriber connection with a recording listener."""
+    """One subscriber connection with a recording listener.
+
+    With ``durable_name`` the subscription is durable: the broker retains
+    delivered-but-unacked and offline messages for replay, and this side
+    deduplicates redeliveries by ``(gen_id, seq)``.  With ``recover`` the
+    receiver is *supervised*: :meth:`start` becomes a long-running process
+    that reconnects and durably re-subscribes whenever its connection dies
+    (a broker crash — or its own, via :meth:`close`, which models the
+    subscriber process being killed and restarted by its supervisor).
+    """
 
     def __init__(
         self,
@@ -44,6 +54,10 @@ class NaradaReceiver:
         ack_mode: int = AckMode.AUTO_ACKNOWLEDGE,
         client_ack_batch: int = 10,
         config: Optional["NaradaConfig"] = None,
+        durable_name: Optional[str] = None,
+        recover: bool = False,
+        reconnect_backoff: float = 0.25,
+        name: Optional[str] = None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -55,12 +69,52 @@ class NaradaReceiver:
         self.ack_mode = ack_mode
         self.client_ack_batch = client_ack_batch
         self.config = config
+        self.durable_name = durable_name
+        self.recover = recover
+        self.reconnect_backoff = reconnect_backoff
+        #: Fault-injector surface (consumer_crash / slow_consumer targets).
+        self.name = name or f"narada-recv.{node_name}"
+        self.record_cpu_multiplier = 1.0
         self.received = 0
         self.duplicates = 0
+        #: Redeliveries the (gen_id, seq) index suppressed (durable mode).
+        self.redeliveries = 0
+        self.reconnects = 0
+        self.crashes = 0
         self.connected = False
+        self.stopped = False
+        self._connection = None
+        self._seen = DedupIndex()
 
     def start(self) -> Generator[Any, Any, None]:
-        """Connect and subscribe; raises if the broker refuses."""
+        """Connect and subscribe; raises if the broker refuses.
+
+        With ``recover`` this is a supervising loop instead: it keeps the
+        subscription alive until :meth:`stop`, swallowing connection-level
+        failures and retrying with a fixed backoff.
+        """
+        if not self.recover:
+            yield from self._connect_once()
+            return
+        while not self.stopped:
+            try:
+                yield from self._connect_once()
+            except (ChannelClosed, MessageLost, TransportError):
+                self.connected = False
+                yield self.sim.timeout(self.reconnect_backoff)
+                continue
+            # Watch the connection; reconnect + durable re-subscribe on EOF.
+            while not self.stopped:
+                yield self.sim.timeout(self.reconnect_backoff)
+                channel = self._connection.provider.channel
+                if channel.closed:
+                    self.connected = False
+                    break
+            if self.stopped:
+                return
+            self.reconnects += 1
+
+    def _connect_once(self) -> Generator[Any, Any, None]:
         factory = narada_connection_factory(
             self.sim,
             self.transport,
@@ -73,14 +127,46 @@ class NaradaReceiver:
         connection.start()
         session = connection.create_session(ack_mode=self.ack_mode)
         yield from session.create_subscriber(
-            self.topic, selector=self.selector, listener=self._on_message
+            self.topic,
+            selector=self.selector,
+            listener=self._on_message,
+            durable_name=self.durable_name,
         )
         self.connected = True
         self._connection = connection
 
+    def close(self) -> None:
+        """Consumer-crash hook: kill the subscriber process.
+
+        Severs the connection abruptly (no unsubscribe — the durable
+        subscription stays registered at the broker).  Without ``recover``
+        the receiver stays down, like the plog consumer it mirrors; with
+        ``recover`` the supervising loop restarts it, and the broker's
+        durable replay plus the ``(gen_id, seq)`` index cover the gap.
+        """
+        self.crashes += 1
+        self.connected = False
+        if not self.recover:
+            self.stopped = True
+        if self._connection is not None:
+            channel = self._connection.provider.channel
+            if not channel.closed:
+                channel.close()
+
+    def stop(self) -> None:
+        """Permanently shut the receiver down (ends the supervisor loop)."""
+        self.stopped = True
+        self.close()
+
     def _on_message(self, message: Any) -> None:
-        self.received += 1
         record = getattr(message, "_record", None)
+        if self.durable_name is not None and record is not None:
+            # Exactly-once processing: replayed deliveries are acknowledged
+            # (so the broker can settle its retention) but not re-counted.
+            if not self._seen.mark(record.gen_id, record.seq):
+                self.redeliveries += 1
+                return
+        self.received += 1
         if record is not None:
             # First delivery wins: a retried publish reaching a second
             # subscriber path counts once (the duplicate-% scorecard column).
@@ -122,10 +208,16 @@ class PlogReceiver:
         node_name: str,
         group: str = "grid.monitor",
         name: Optional[str] = None,
+        dedup: Optional[DedupIndex] = None,
     ):
         self.sim = sim
         self.received = 0
         self.duplicates = 0
+        #: Redeliveries suppressed by the shared ``(gen_id, seq)`` index —
+        #: post-rebalance replay of records another member already
+        #: processed (the idempotent-sink half of exactly-once).
+        self.redeliveries = 0
+        self._dedup = dedup
         self.consumer = deployment.consumer(
             cluster.node(node_name),
             name or f"consumer.{node_name}",
@@ -148,8 +240,12 @@ class PlogReceiver:
             return
 
     def _on_record(self, value: Any, t_arrived: float) -> None:
-        self.received += 1
         record = getattr(value, "_record", None)
+        if self._dedup is not None and record is not None:
+            if not self._dedup.mark(record.gen_id, record.seq):
+                self.redeliveries += 1
+                return
+        self.received += 1
         if record is None:
             return
         if record.t_received is not None:

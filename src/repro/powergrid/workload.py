@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 from repro.core.records import RecordBook
 from repro.faults.recovery import RetryPolicy
 from repro.jms import AckMode, Topic
+from repro.jms.errors import IllegalStateException
 from repro.jms.message import MapMessage
 from repro.narada.client import narada_connection_factory
 from repro.powergrid.generator import PowerGenerator
@@ -216,7 +217,10 @@ class NaradaFleet:
                     record.t_after_send = sim.now
                     published = True
                     break
-                except (MessageLost, ChannelClosed) as exc:
+                except (MessageLost, ChannelClosed, IllegalStateException) as exc:
+                    # IllegalStateException: the session died under us (a
+                    # failed reconnect leaves the old closed one in place) —
+                    # same recovery as a dead connection.
                     if retry is None or not retry.enabled or attempt >= retry.retries:
                         break
                     attempt += 1
@@ -224,7 +228,7 @@ class NaradaFleet:
                     yield sim.timeout(
                         retry.delay(attempt, sim, f"narada.retry.{gen_id}")
                     )
-                    if isinstance(exc, ChannelClosed):
+                    if isinstance(exc, (ChannelClosed, IllegalStateException)):
                         # Dead connection: rebuild it — against the next
                         # broker when failing over, the same one otherwise.
                         if fleet.failover:

@@ -1,0 +1,90 @@
+"""The shared (source, seq) dedup index under every exactly-once path."""
+
+from repro.core.dedup import DedupIndex
+
+
+def test_in_order_stream_marks_once_and_stays_compact():
+    idx = DedupIndex()
+    for seq in range(100):
+        assert idx.mark("gen-1", seq)
+    assert idx.unique == 100
+    assert idx.repeats == 0
+    assert idx.next_expected("gen-1") == 100
+    # Contiguous stream: only the floor is kept, no sparse set.
+    assert idx._above == {}
+
+
+def test_repeat_is_suppressed_and_counted():
+    idx = DedupIndex()
+    assert idx.mark("a", 0)
+    assert not idx.mark("a", 0)
+    assert not idx.mark("a", 0)
+    assert idx.unique == 1
+    assert idx.repeats == 2
+
+
+def test_sources_are_independent():
+    idx = DedupIndex()
+    assert idx.mark("a", 0)
+    assert idx.mark("b", 0)
+    assert not idx.mark("a", 0)
+    assert idx.sources() == 2
+    assert idx.next_expected("a") == 1
+    assert idx.next_expected("c") == 0  # unknown source starts at 0
+
+
+def test_out_of_order_floor_advances_when_gap_fills():
+    idx = DedupIndex()
+    assert idx.mark("a", 0)
+    assert idx.mark("a", 2)  # gap at 1
+    assert idx.next_expected("a") == 1
+    assert not idx.mark("a", 2)  # sparse sighting deduped too
+    assert idx.mark("a", 1)  # gap fills: floor swallows 1 and 2
+    assert idx.next_expected("a") == 3
+    assert idx._above == {}  # sparse set collapsed into the floor
+    assert not idx.mark("a", 2)  # now below the floor
+
+
+def test_seen_has_no_side_effects():
+    idx = DedupIndex()
+    assert not idx.seen("a", 0)
+    idx.mark("a", 0)
+    idx.mark("a", 5)
+    assert idx.seen("a", 0)
+    assert idx.seen("a", 5)
+    assert not idx.seen("a", 3)
+    assert idx.unique == 2 and idx.repeats == 0
+
+
+def test_mark_run_marks_contiguous_batch():
+    idx = DedupIndex()
+    idx.mark_run("pid-7", 0, 5)
+    assert idx.next_expected("pid-7") == 5
+    assert all(idx.seen("pid-7", s) for s in range(5))
+    assert idx.unique == 5
+
+
+def test_snapshot_restore_is_monotonic():
+    idx = DedupIndex()
+    idx.mark_run("a", 0, 10)
+    snap = idx.snapshot()
+    assert snap == {"a": 9}
+
+    other = DedupIndex()
+    other.mark("a", 3)  # out-of-order sighting below the incoming floor
+    other.mark("a", 12)  # and one above it
+    other.restore(snap)
+    assert other.next_expected("a") == 10
+    assert other.seen("a", 12)  # above-floor sighting survives the merge
+    assert not other.seen("a", 11)
+    # Restoring an older floor must not regress.
+    other.restore({"a": 2})
+    assert other.next_expected("a") == 10
+
+
+def test_len_counts_unique_sightings():
+    idx = DedupIndex()
+    idx.mark("a", 0)
+    idx.mark("a", 1)
+    idx.mark("a", 1)
+    assert len(idx) == 2

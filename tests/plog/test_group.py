@@ -94,10 +94,12 @@ def test_commit_only_advances_owned_partitions():
     coordinator.handle(object(), ("join", "g", "c0", "t"))
     group = coordinator.groups["g"]
     group.assignment = {"c0": (0, 1)}
-    coordinator.handle(object(), ("commit", "g", "c0", "t", {0: 5, 1: 3, 2: 9}))
+    coordinator.handle(
+        object(), ("commit", "g", "c0", "t", {0: 5, 1: 3, 2: 9}, 0)
+    )
     assert group.offsets == {("t", 0): 5, ("t", 1): 3}  # partition 2 not owned
     # Offsets are monotone: a late commit from a stale fetch cannot rewind.
-    coordinator.handle(object(), ("commit", "g", "c0", "t", {0: 2}))
+    coordinator.handle(object(), ("commit", "g", "c0", "t", {0: 2}, 0))
     assert group.offsets[("t", 0)] == 5
 
 
@@ -106,8 +108,34 @@ def test_commit_for_unknown_group_ignored():
     cluster = HydraCluster(sim)
     broker = PlogBroker(sim, cluster.node("hydra1"), "b", CONFIG)
     coordinator = GroupCoordinator(broker, 8)
-    coordinator.handle(object(), ("commit", "nope", "c0", "t", {0: 5}))
+    coordinator.handle(object(), ("commit", "nope", "c0", "t", {0: 5}, 0))
     assert "nope" not in coordinator.groups
+
+
+def test_paused_prerebalance_consumer_cannot_clobber_new_owner():
+    """Zombie fencing: a commit stamped with a stale generation is dropped
+    even when ownership and monotonicity checks would both accept it."""
+    sim = Simulator(seed=1)
+    cluster = HydraCluster(sim)
+    broker = PlogBroker(sim, cluster.node("hydra1"), "b", CONFIG)
+    coordinator = GroupCoordinator(broker, 8)
+    coordinator.handle(object(), ("join", "g", "zombie", "t"))
+    group = coordinator.groups["g"]
+    group.generation = 1
+    group.assignment = {"zombie": (0,)}
+    coordinator.handle(object(), ("commit", "g", "zombie", "t", {0: 30}, 1))
+    assert group.offsets[("t", 0)] == 30
+    # Two rebalances later the paused member owns partition 0 again, but
+    # its world is still generation 1; the new owner has committed 35.
+    group.generation = 3
+    group.assignment = {"zombie": (0,), "other": (1,)}
+    group.offsets[("t", 0)] = 35
+    coordinator.handle(object(), ("commit", "g", "zombie", "t", {0: 50}, 1))
+    assert group.offsets[("t", 0)] == 35  # fenced, not clobbered
+    assert coordinator.fenced_commits == 1
+    # Once the zombie observes generation 3, its commits land again.
+    coordinator.handle(object(), ("commit", "g", "zombie", "t", {0: 50}, 3))
+    assert group.offsets[("t", 0)] == 50
 
 
 def test_new_owner_resumes_from_committed_offset():
@@ -119,7 +147,7 @@ def test_new_owner_resumes_from_committed_offset():
     group = coordinator.groups["g"]
     group.assignment = {"c0": tuple(range(8))}
     coordinator.handle(
-        object(), ("commit", "g", "c0", "t", {p: 10 + p for p in range(8)})
+        object(), ("commit", "g", "c0", "t", {p: 10 + p for p in range(8)}, 0)
     )
     coordinator.handle(object(), ("leave", "g", "c0"))
     assert coordinator.member_count("g") == 0

@@ -1,0 +1,82 @@
+"""Idempotent-producer state: retry absorption and failover hand-off."""
+
+from repro.plog.idempotence import PartitionProducerState
+
+
+def test_fresh_batch_is_not_a_duplicate():
+    state = PartitionProducerState()
+    assert state.duplicate("pid", 0, 10) is None
+    state.record("pid", 0, 10, base_offset=0)
+    assert state.duplicates == 0
+
+
+def test_retried_batch_is_absorbed_with_original_offsets():
+    state = PartitionProducerState()
+    state.record("pid", 0, 10, base_offset=100)
+    # The retry re-sends the identical batch; the broker answers with the
+    # original append's offsets instead of appending again.
+    reack = state.duplicate("pid", 0, 10)
+    assert reack == (110, 100)  # (required hwm, base_offset)
+    assert state.duplicates == 1
+
+
+def test_partial_overlap_is_not_deduped():
+    state = PartitionProducerState()
+    state.record("pid", 0, 10, base_offset=0)
+    # A batch extending past the recorded window is new data, not a retry.
+    assert state.duplicate("pid", 5, 10) is None
+    assert state.duplicate("pid", 10, 1) is None
+    assert state.duplicates == 0
+
+
+def test_empty_batch_is_never_a_duplicate():
+    state = PartitionProducerState()
+    state.record("pid", 0, 10, base_offset=0)
+    assert state.duplicate("pid", 0, 0) is None
+
+
+def test_producers_tracked_independently():
+    state = PartitionProducerState()
+    state.record("p1", 0, 5, base_offset=0)
+    assert state.duplicate("p2", 0, 5) is None
+    state.record("p2", 0, 5, base_offset=5)
+    assert state.duplicate("p2", 0, 5) == (10, 5)
+    assert state.duplicate("p1", 0, 5) == (5, 0)
+
+
+def test_snapshot_round_trips_through_follower_merge():
+    leader = PartitionProducerState()
+    leader.record("pid", 0, 10, base_offset=0)
+    leader.record("pid", 10, 10, base_offset=10)
+
+    follower = PartitionProducerState()
+    follower.merge_snapshot(leader.snapshot(), log_end=20)
+    # Promoted follower recognises the producer's retry across failover.
+    assert follower.duplicate("pid", 10, 10) == (20, 10)
+    assert follower.index.next_expected("pid") == 20
+
+
+def test_merge_is_gated_by_local_log_end():
+    leader = PartitionProducerState()
+    leader.record("pid", 0, 10, base_offset=0)
+    snap = leader.snapshot()
+
+    follower = PartitionProducerState()
+    # The follower has replicated only 5 of the batch's 10 records: applying
+    # the dedup entry now would absorb retries of records it does not hold.
+    follower.merge_snapshot(snap, log_end=5)
+    assert follower.duplicate("pid", 0, 10) is None
+    assert follower.last_batch == {}
+    # Next fetch round carries the snapshot again, now fully replicated.
+    follower.merge_snapshot(snap, log_end=10)
+    assert follower.duplicate("pid", 0, 10) == (10, 0)
+
+
+def test_merge_keeps_newest_batch_per_producer():
+    follower = PartitionProducerState()
+    follower.record("pid", 20, 5, base_offset=40)
+    stale = {"pid": (9, 0, 10, 0)}  # floor 9, batch (0, 10, 0)
+    follower.merge_snapshot(stale, log_end=100)
+    # The stale snapshot raises the floor but must not roll back last_batch.
+    assert follower.last_batch["pid"] == (20, 5, 40)
+    assert follower.index.seen("pid", 9)
