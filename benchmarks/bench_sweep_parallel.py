@@ -136,7 +136,8 @@ def test_sweep_wall_clock_parallel_and_cache(scale, bench_report):
     determinism contract); the speedup itself is only asserted on hosts
     with enough cores to show one, but is always *recorded*.
     """
-    jobs = os.cpu_count() or 1
+    cpu_count = os.cpu_count() or 1
+    jobs = cpu_count
 
     runner.clear_cache()
     t0 = time.perf_counter()
@@ -160,6 +161,7 @@ def test_sweep_wall_clock_parallel_and_cache(scale, bench_report):
         "serial_cold_s": serial_s,
         "disk_cache_hit_s": cache_hit_s,
         "cache_hit_speedup": serial_s / cache_hit_s,
+        "cpu_count": cpu_count,
         "parallel_jobs": jobs,
         "parallel_cold_s": parallel_s,
         "parallel_speedup": serial_s / parallel_s,
@@ -168,6 +170,8 @@ def test_sweep_wall_clock_parallel_and_cache(scale, bench_report):
     assert serial.series == parallel.series == warm.series
     assert serial.notes == parallel.notes
     assert cache_hit_s < 5.0, f"warm-cache re-run took {cache_hit_s:.1f}s"
+    if cpu_count == 1:
+        return  # single-core host: speedup ~1.0 is expected, not a regression
     if jobs >= 4:
         speedup = serial_s / parallel_s
         assert speedup >= 1.5, (

@@ -5,7 +5,11 @@ the code that computes them.  Sweep kinds with extra shape parameters fold
 them into the key: federation sweeps carry one ``(broker_count,
 FederationParams.cache_key())`` pair per point — depth, fan-out and routing
 mode — so a cached broadcast-mode sweep can never satisfy a routed-mode
-lookup and trees of different shape never alias.  The disk tier therefore keys every entry by
+lookup and trees of different shape never alias.  Fleet sweeps fold
+``(n, middleware, mode, cohort_size, service-model key)`` per point the
+same way, so an aggregate-mode entry can never satisfy a per-process
+lookup, a different cohort partition never aliases, and recalibrating a
+service model invalidates its sweeps.  The disk tier therefore keys every entry by
 those inputs **plus a code-version salt**: a digest over every ``*.py``
 file under ``src/repro``.  Editing any source file changes the salt, so a
 stale cache can never satisfy a lookup from newer code; there is nothing

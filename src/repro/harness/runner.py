@@ -41,6 +41,7 @@ from repro.harness import (
     decomposition,
     edge_experiments,
     federation_experiments,
+    fleet_experiments,
     narada_experiments,
     plog_experiments,
     rgma_experiments,
@@ -458,6 +459,45 @@ def _fig15_federation(scale: Scale, seed: int) -> ExperimentResult:
 def _federation_scaling(scale: Scale, seed: int) -> ExperimentResult:
     return federation_experiments.federation_scaling(
         _federation_routed(scale, seed), _federation_broadcast(scale, seed)
+    )
+
+
+# ----------------------------------------------------- vectorized fleets
+
+def _fleet_sweep(scale: Scale, seed: int, middleware: str, mode: str):
+    """One cached fleet sweep leg (``"aggregate"`` or ``"process"``).
+
+    The key folds :func:`fleet_experiments.sweep_cache_key` — one
+    ``(n, middleware, mode, cohort_size, service-model key)`` tuple per
+    point — so an aggregate-mode entry can never satisfy a per-process
+    lookup in either cache tier (the cohort/aggregation analogue of the
+    federation topology folding).
+    """
+    points = fleet_experiments.sweep_points(scale, mode)
+    key = (
+        "fleet",
+        fleet_experiments.sweep_cache_key(
+            points, middleware, mode, fleet_experiments.COHORT_SIZE
+        ),
+        scale.cache_key(),
+        seed,
+    )
+    return _cached(
+        key,
+        lambda: fleet_experiments.run_fleet_sweep(
+            points, middleware, mode, scale=scale, seed=seed, jobs=_jobs
+        ),
+    )
+
+
+def _fleet_scaling(scale: Scale, seed: int) -> ExperimentResult:
+    from repro.powergrid.fleet_engine import FLEET_MIDDLEWARES
+
+    return fleet_experiments.fleet_scaling(
+        {mw: _fleet_sweep(scale, seed, mw, "aggregate") for mw in FLEET_MIDDLEWARES},
+        {mw: _fleet_sweep(scale, seed, mw, "process") for mw in FLEET_MIDDLEWARES},
+        scale=scale,
+        seed=seed,
     )
 
 
@@ -1210,6 +1250,7 @@ EXPERIMENTS: dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "fig15_federation": _fig15_federation,
     "fig15_edge": _fig15_edge,
     "federation_scaling": _federation_scaling,
+    "fleet_scaling": _fleet_scaling,
     "edge_scaling": _edge_scaling,
     "edge_gateway_crash": _edge_gateway_crash,
     "chaos_threeway": _chaos_threeway,
@@ -1256,6 +1297,7 @@ DESCRIPTIONS: dict[str, str] = {
     "fig15_federation": "RTT decomposition on the federated broker tree",
     "fig15_edge": "RTT decomposition through the long-poll gateway hop",
     "federation_scaling": "Per-link traffic + RTT: routed tree vs broadcast DBN",
+    "fleet_scaling": "Vectorized cohort fleets: 10^3-10^6 publishers, 3 middlewares",
     "edge_scaling": "Edge tier: clients 10k+ pooled onto O(topics) connections",
     "edge_gateway_crash": "Gateway crash: failover, ring replay, exactly-once",
     "chaos_threeway": "All three middlewares under one deterministic fault plan",

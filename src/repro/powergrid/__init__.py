@@ -10,6 +10,12 @@ paper's exact payload shapes for both middlewares, fleet builders with the
 paper's staggered creation and randomised warm-up, and recording receivers.
 """
 
+from repro.powergrid.cohort import (
+    CohortDynamics,
+    CohortSpec,
+    advance_interval,
+    warmup_times,
+)
 from repro.powergrid.generator import GeneratorState, PowerGenerator
 from repro.powergrid.payload import narada_map_message, rgma_row
 from repro.powergrid.rates import RateSchedule, RateWindow, rate_sleep
@@ -22,8 +28,12 @@ from repro.powergrid.workload import (
 from repro.powergrid.receiver import NaradaReceiver, PlogReceiver, RgmaReceiver
 
 __all__ = [
+    "CohortDynamics",
+    "CohortSpec",
     "FleetConfig",
     "GeneratorState",
+    "advance_interval",
+    "warmup_times",
     "NaradaFleet",
     "NaradaReceiver",
     "PlogFleet",

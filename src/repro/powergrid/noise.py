@@ -1,0 +1,85 @@
+"""Counter-based deterministic noise for vectorized cohorts.
+
+Sequential RNG streams (``numpy.random.Generator``) tie a draw's value to
+*when* it is made — vectorizing a cohort would change every downstream
+value.  The fleet engine instead keys every draw by **what it is for**:
+``(seed, gen_id, seq, field)`` hashes through a splitmix64-style mixer to a
+uniform, so a draw's value depends only on its coordinates.  The same
+functions evaluate one generator (length-1 arrays, the zoomed per-process
+path) or a whole cohort (the aggregate path) through identical numpy ops —
+which is what makes aggregate and zoomed runs agree bit-for-bit, the
+exactness contract ``tests/powergrid/test_fleet_engine.py`` asserts.
+
+Normals come from Box-Muller over two derived uniforms (``log1p(-u)`` keeps
+``u = 0`` finite); exponentials from inversion.  All helpers accept scalars
+or arrays and return ``float64`` numpy arrays of the broadcast shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+#: Field tags namespacing the independent draws one message needs.  A
+#: logical field owns two raw slots (``field`` and ``field + _SECOND``) so
+#: Box-Muller pairs never collide with a neighbouring field.
+FIELD_INIT = 1      # initial power level (one per generator)
+FIELD_WARMUP = 2    # warm-up sleep (one per generator)
+FIELD_POWER = 3     # OU power innovation (per message)
+FIELD_TRIP = 4      # breaker trip / reclose draw (per message)
+FIELD_VOLT = 5      # voltage noise (per message)
+FIELD_FREQ = 6      # frequency noise (per message)
+FIELD_SERVICE = 7   # service-latency jitter (per message)
+FIELD_LOSS = 8      # fault-window loss draw (per message)
+FIELD_DUP = 9       # duplicate-on-retransmit draw (per message)
+
+_SECOND = np.uint64(1) << np.uint64(32)
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_INV_2_53 = 1.0 / float(1 << 53)
+
+
+def _splitmix(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    x = (x ^ (x >> np.uint64(30))) * _MIX1
+    x = (x ^ (x >> np.uint64(27))) * _MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+def _hash(seed: int, gen_ids: Any, seqs: Any, field: Any) -> np.ndarray:
+    g = np.asarray(gen_ids, dtype=np.uint64)
+    s = np.asarray(seqs, dtype=np.uint64)
+    f = np.asarray(field, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = _splitmix(g ^ (np.uint64(seed) * _GOLDEN))
+        x = _splitmix(x ^ (s * _GOLDEN))
+        return _splitmix(x ^ f)
+
+
+def u01(seed: int, gen_ids: Any, seqs: Any, field: Any) -> np.ndarray:
+    """Uniform in ``[0, 1)``, a pure function of ``(seed, gen, seq, field)``."""
+    return (_hash(seed, gen_ids, seqs, field) >> np.uint64(11)) * _INV_2_53
+
+
+def normal(seed: int, gen_ids: Any, seqs: Any, field: int) -> np.ndarray:
+    """Standard normal via Box-Muller over two derived uniforms."""
+    u1 = u01(seed, gen_ids, seqs, np.uint64(field))
+    u2 = u01(seed, gen_ids, seqs, np.uint64(field) + _SECOND)
+    return np.sqrt(-2.0 * np.log1p(-u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def exponential(
+    seed: int, gen_ids: Any, seqs: Any, field: int, mean: float
+) -> np.ndarray:
+    """Exponential of the given mean, by inversion."""
+    return -mean * np.log1p(-u01(seed, gen_ids, seqs, field))
+
+
+def uniform(
+    seed: int, gen_ids: Any, seqs: Any, field: int, lo: float, hi: float
+) -> np.ndarray:
+    """Uniform in ``[lo, hi)``."""
+    return lo + (hi - lo) * u01(seed, gen_ids, seqs, field)

@@ -11,6 +11,7 @@ the middleware models above it are portable and the whole simulation is
 bit-reproducible from a seed.
 """
 
+from repro.sim.cohort import CohortProcess
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -26,6 +27,7 @@ from repro.sim.rng import RngStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CohortProcess",
     "Container",
     "Event",
     "Interrupt",

@@ -305,6 +305,43 @@ class Histogram:
         for estimator in self._p2.values():
             estimator.observe(value)
 
+    #: Largest deterministic subsample a batched feed hands the P²
+    #: estimators (P² is inherently sequential; see :meth:`add_many`).
+    P2_SUBSAMPLE = 256
+
+    def add_many(self, values) -> None:
+        """Vectorized :meth:`observe` for a whole batch of values.
+
+        ``n``, ``total``, ``min``/``max`` and the bucket counts update
+        exactly as a loop of ``observe`` calls would (``searchsorted`` over
+        the same bounds ``_bucket_index`` binary-searches), so bucketed
+        quantiles and :meth:`merge` behave identically.  The embedded P²
+        estimators are sequential by construction, so they see a bounded,
+        deterministic (evenly strided) subsample of the batch — the P²
+        estimate of a batch-fed histogram is approximate, while the
+        bucketed quantile keeps its documented error bound.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        self.n += int(arr.size)
+        self.total += float(arr.sum())
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        idx = np.searchsorted(np.asarray(self.bounds), arr, side="left")
+        counts = np.bincount(idx, minlength=len(self.counts))
+        self.counts = [a + int(b) for a, b in zip(self.counts, counts)]
+        stride = max(1, arr.size // self.P2_SUBSAMPLE)
+        for x in arr[::stride][: self.P2_SUBSAMPLE]:
+            for estimator in self._p2.values():
+                estimator.observe(float(x))
+
     def _bucket_index(self, value: float) -> int:
         # Binary search over the upper bounds: bucket i covers
         # (bounds[i-1], bounds[i]]; everything above the last bound lands

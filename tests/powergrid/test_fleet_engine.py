@@ -1,0 +1,116 @@
+"""Aggregate fleet mode vs per-process exactness reference."""
+
+import pytest
+
+from repro.harness.scale import Scale
+from repro.powergrid import RateSchedule
+from repro.powergrid.fleet_engine import (
+    FLEET_MIDDLEWARES,
+    run_fleet_point,
+    verify_agreement,
+)
+
+#: Tiny preset so per-process reference runs stay sub-second.
+TINY = Scale(
+    name="tiny",
+    duration=12.0,
+    creation_interval_narada=0.005,
+    creation_interval_rgma=0.005,
+    warmup=(0.5, 1.0),
+    drain=5.0,
+)
+
+N = 300
+COHORT = 128
+
+
+@pytest.mark.parametrize("middleware", FLEET_MIDDLEWARES)
+def test_aggregate_agrees_with_process(middleware):
+    agg = run_fleet_point(middleware, N, TINY, mode="aggregate", cohort_size=COHORT)
+    proc = run_fleet_point(middleware, N, TINY, mode="process")
+    verify_agreement(agg, proc)
+    assert agg.published > 0
+    assert agg.published == proc.published
+    assert agg.delivered + agg.lost == agg.published
+
+
+def test_agreement_holds_under_schedule_and_faults():
+    """The hard case: overlapping rate windows (incl. a silence) plus a
+    packet-loss burst — counts must match *exactly*, not just closely."""
+    schedule = (
+        RateSchedule()
+        .window(3.0, 9.0, 0, N, 3.0)
+        .window(5.0, 7.0, 50, 150, 0.0)
+        .window(9.0, 13.0, 0, 100, 0.5)
+    )
+    for middleware in FLEET_MIDDLEWARES:
+        agg = run_fleet_point(
+            middleware, N, TINY, mode="aggregate", cohort_size=COHORT,
+            schedule=schedule, fault_plan="loss_burst",
+        )
+        proc = run_fleet_point(
+            middleware, N, TINY, mode="process",
+            schedule=schedule, fault_plan="loss_burst",
+        )
+        verify_agreement(agg, proc)
+        assert (agg.lost, agg.duplicates) == (proc.lost, proc.duplicates)
+
+
+def test_loss_burst_actually_loses_messages():
+    # Smoke scale: the loss window lands on the second publish round.
+    out = run_fleet_point(
+        "narada", N, Scale.smoke(), mode="aggregate", cohort_size=COHORT,
+        fault_plan="loss_burst",
+    )
+    assert out.lost > 0
+    assert out.delivered + out.lost == out.published
+
+
+def test_plog_at_least_once_duplicates_instead_of_losing():
+    out = run_fleet_point(
+        "plog", 1000, Scale.smoke(), mode="aggregate",
+        fault_plan="loss_burst",
+    )
+    assert out.duplicates > 0  # retries redeliver under at-least-once
+    assert out.lost == 0
+
+
+def test_zoomed_cohort_changes_nothing():
+    for middleware in FLEET_MIDDLEWARES:
+        plain = run_fleet_point(middleware, N, TINY, mode="aggregate", cohort_size=COHORT)
+        zoomed = run_fleet_point(
+            middleware, N, TINY, mode="aggregate", cohort_size=COHORT,
+            zoom=(40, 90),
+        )
+        verify_agreement(plain, zoomed)
+        assert zoomed.mode == "aggregate+zoom"
+
+
+def test_aggregate_mode_schedules_far_fewer_kernel_events():
+    agg = run_fleet_point("narada", N, TINY, mode="aggregate", cohort_size=COHORT)
+    proc = run_fleet_point("narada", N, TINY, mode="process")
+    assert agg.ticks > 0
+    # Per-process: >= one kernel event per message.  Aggregate: one per
+    # cohort tick, independent of message count.
+    assert proc.events_scheduled >= proc.published
+    assert agg.events_scheduled < proc.events_scheduled / 10
+
+
+def test_burst_schedule_raises_message_count_in_both_modes():
+    burst = RateSchedule().window(2.0, 10.0, 0, N, 4.0)
+    base = run_fleet_point("narada", N, TINY, mode="aggregate", cohort_size=COHORT)
+    boosted = run_fleet_point(
+        "narada", N, TINY, mode="aggregate", cohort_size=COHORT, schedule=burst
+    )
+    assert boosted.published > 1.5 * base.published
+    proc = run_fleet_point("narada", N, TINY, mode="process", schedule=burst)
+    assert proc.published == boosted.published
+
+
+def test_input_validation():
+    with pytest.raises(ValueError, match="unknown middleware"):
+        run_fleet_point("kafka", N, TINY)
+    with pytest.raises(ValueError, match="unknown fleet mode"):
+        run_fleet_point("narada", N, TINY, mode="batched")
+    with pytest.raises(ValueError, match="zoom only applies"):
+        run_fleet_point("narada", N, TINY, mode="process", zoom=(0, 10))

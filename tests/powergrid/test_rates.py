@@ -108,6 +108,51 @@ def test_rate_sleep_only_affects_covered_gen_ids():
     assert slow == [0.0, 10.0, 20.0, 30.0]
 
 
+def test_zero_duration_window_is_rejected():
+    """A zero-duration segment can never cover any instant (start inclusive,
+    end exclusive) — the builder rejects it rather than silently no-op."""
+    with pytest.raises(ValueError):
+        RateSchedule().window(5.0, 5.0, 0, 10, 2.0)
+
+
+def test_override_exactly_at_a_segment_boundary():
+    """Back-to-back windows sharing the edge at t=40: end is exclusive and
+    start is inclusive, so at exactly 40.0 the 4x window alone applies —
+    never 2x (stale) and never 8x (double-cover)."""
+    schedule = (
+        RateSchedule()
+        .window(20.0, 40.0, 0, 10, 2.0)
+        .window(40.0, 60.0, 0, 10, 4.0)
+    )
+    assert schedule.multiplier_at(0, 40.0) == 4.0
+    times = _publish_times(schedule, until=70.0)
+    # 40.0 is both a publish timestamp and the boundary: spacing is 5 s
+    # right up to it and 2.5 s immediately after, with no seam artifact.
+    assert times == pytest.approx(
+        [0.0, 10.0, 20.0, 25.0, 30.0, 35.0, 40.0]
+        + [40.0 + 2.5 * i for i in range(1, 9)]
+    )
+
+
+def test_window_end_mid_sleep_composes_debt_across_the_boundary():
+    """The last window edge falls mid-sleep: 40% of the interval is burned
+    at 2x inside the window, the remaining 60% at 1x after it lifts."""
+    schedule = RateSchedule().window(0.0, 22.0, 0, 10, 2.0)
+    times = _publish_times(schedule, until=60.0)
+    assert times == pytest.approx(
+        [0.0, 5.0, 10.0, 15.0, 20.0, 28.0, 38.0, 48.0, 58.0]
+    )
+
+
+def test_run_end_mid_sleep_returns_without_publishing():
+    """The schedule (and run) ends mid-publish-phase: a 0.5x slowdown owes
+    7 s of debt when stop_at arrives mid-sleep — rate_sleep returns at the
+    stop without ever paying it, and the loop publishes nothing more."""
+    schedule = RateSchedule().window(0.0, 100.0, 0, 10, 0.5)
+    times = _publish_times(schedule, until=33.0)
+    assert times == pytest.approx([0.0, 20.0])
+
+
 def test_fleet_applies_rate_override_mid_run():
     """End to end: a fleet armed with a RateSchedule speeds up mid-run
     without any restart — message count in the boosted half of the run
